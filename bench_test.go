@@ -1,0 +1,179 @@
+// Benchmarks regenerating each table/figure of the paper's evaluation:
+// one testing.B target per figure, driving the same harness as
+// cmd/predata-bench. Model-only figures benchmark the cost-model
+// evaluation; functional figures benchmark the real pipeline.
+package predata_test
+
+import (
+	"io"
+	"testing"
+
+	"predata/internal/bench"
+	"predata/internal/model"
+	"predata/internal/ops"
+	"predata/internal/staging"
+)
+
+// BenchmarkFig7Sort regenerates Fig. 7(a,d): the sorting operator under
+// both placements, including the functional mini-run.
+func BenchmarkFig7Sort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig7(io.Discard, "sort"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Histogram regenerates Fig. 7(b,e).
+func BenchmarkFig7Histogram(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig7(io.Discard, "hist"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7Histogram2D regenerates Fig. 7(c,f).
+func BenchmarkFig7Histogram2D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig7(io.Discard, "hist2d"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8GTC regenerates Fig. 8: GTC totals, breakdown,
+// improvement, and CPU savings across 512-16,384 cores.
+func BenchmarkFig8GTC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig8(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9DataSpaces regenerates Fig. 9: DataSpaces setup, hashing
+// and query times.
+func BenchmarkFig9DataSpaces(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig9(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10Pixie regenerates Fig. 10: Pixie3D totals and CPU cost.
+func BenchmarkFig10Pixie(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.Fig10(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11ReadMergedVsUnmerged regenerates Fig. 11 end to end:
+// real BP files written through the real reorg pipeline, read back from
+// both layouts.
+func BenchmarkFig11ReadMergedVsUnmerged(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		merged, unmerged, _, err := bench.Fig11Functional(64, 8)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if unmerged <= merged {
+			b.Fatalf("unmerged read %v not slower than merged %v", unmerged, merged)
+		}
+	}
+}
+
+// BenchmarkPipelineSortEndToEnd measures the real PreDatA pipeline
+// running the sort operator (the paper's most communication-intensive
+// path) at laptop scale.
+func BenchmarkPipelineSortEndToEnd(b *testing.B) {
+	const particles = 10000
+	b.SetBytes(int64(8 * particles * bench.AttrCount * 8)) // 8 writers
+	for i := 0; i < b.N; i++ {
+		_, _, err := bench.MiniPipeline(8, 2, particles, func(int) []staging.Operator {
+			op, err := ops.NewSortOperator(ops.SortConfig{
+				Var: "p", KeyMajor: bench.ColRank, KeyMinor: bench.ColID, AggFromColumn: true,
+			})
+			if err != nil {
+				return nil
+			}
+			return []staging.Operator{op}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationScheduling compares scheduled vs unscheduled transfer
+// movement in the model.
+func BenchmarkAblationScheduling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.AblationScheduling(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationCombine measures the combiner's shuffle-volume
+// reduction with the real pipeline.
+func BenchmarkAblationCombine(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.AblationCombine(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRatio sweeps staging-area sizing in the model.
+func BenchmarkAblationRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.AblationRatio(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationBitmap compares indexed queries to full scans.
+func BenchmarkAblationBitmap(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.AblationBitmap(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelFullSweep evaluates every model figure at every scale —
+// the cost of regenerating the paper's entire evaluation analytically.
+func BenchmarkModelFullSweep(b *testing.B) {
+	m := model.Jaguar()
+	x := model.JaguarXT4()
+	for i := 0; i < b.N; i++ {
+		for _, cores := range model.GTCScales {
+			_ = m.GTCSort(cores)
+			_ = m.GTCHistogram(cores)
+			_ = m.GTCHistogram2D(cores)
+			_ = m.GTCRun(cores)
+		}
+		for _, q := range model.DSQueryCores {
+			_ = m.DataSpaces(q)
+		}
+		for _, cores := range model.PixieScales {
+			_ = x.PixieRun(cores)
+			_ = x.PixieRead(cores)
+		}
+	}
+}
+
+// BenchmarkDESCrossCheck runs the discrete-event simulator across all
+// scales in both configurations.
+func BenchmarkDESCrossCheck(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := bench.DESCrossCheck(io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// genDemo produces a small sorted BP file in t.TempDir and returns its path.
+func genDemo(t *testing.T) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "demo.bp")
+	var buf bytes.Buffer
+	if err := cmdGen(&buf, []string{"-o", out, "-writers", "4", "-particles", "500"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wrote") {
+		t.Fatalf("gen output %q", buf.String())
+	}
+	return out
+}
+
+func TestGenLsReadQuery(t *testing.T) {
+	path := genDemo(t)
+
+	var ls bytes.Buffer
+	if err := cmdLs(&ls, []string{"-f", path}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ls.String(), "p_sorted") {
+		t.Fatalf("ls output missing variable:\n%s", ls.String())
+	}
+
+	var rd bytes.Buffer
+	if err := cmdRead(&rd, []string{"-f", path, "-var", "p_sorted", "-step", "0"}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rd.String(), "dims [2000 8]") {
+		t.Fatalf("read output:\n%s", rd.String())
+	}
+
+	var q bytes.Buffer
+	if err := cmdQuery(&q, []string{"-f", path, "-var", "p_sorted",
+		"-col", "1", "-lo", "0.4", "-hi", "0.6"}); err != nil {
+		t.Fatal(err)
+	}
+	out := q.String()
+	if !strings.Contains(out, "query col 1") || !strings.Contains(out, "index: build") {
+		t.Fatalf("query output:\n%s", out)
+	}
+	// Uniform data: the 20% selectivity range should match roughly 20%.
+	if !strings.Contains(out, "of 2000 rows") {
+		t.Fatalf("query row count missing:\n%s", out)
+	}
+}
+
+func TestSortedLabelsInGeneratedFile(t *testing.T) {
+	path := genDemo(t)
+	r, err := load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, dims, _, err := r.ReadVar("p_sorted", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, k := int(dims[0]), int(dims[1])
+	for i := 1; i < rows; i++ {
+		prevRank, prevID := data[(i-1)*k+6], data[(i-1)*k+7]
+		curRank, curID := data[i*k+6], data[i*k+7]
+		if prevRank > curRank || (prevRank == curRank && prevID > curID) {
+			t.Fatalf("rows %d,%d out of label order", i-1, i)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	if err := cmdLs(&bytes.Buffer{}, []string{}); err == nil {
+		t.Error("ls without -f accepted")
+	}
+	if err := cmdLs(&bytes.Buffer{}, []string{"-f", "/nonexistent/x.bp"}); err == nil {
+		t.Error("ls of missing file accepted")
+	}
+	if err := cmdRead(&bytes.Buffer{}, []string{"-f", "x"}); err == nil {
+		t.Error("read without -var accepted")
+	}
+	path := genDemo(t)
+	if err := cmdRead(&bytes.Buffer{}, []string{"-f", path, "-var", "ghost"}); err == nil {
+		t.Error("read of missing variable accepted")
+	}
+	if err := cmdQuery(&bytes.Buffer{}, []string{"-f", path, "-var", "p_sorted", "-col", "99"}); err == nil {
+		t.Error("query of out-of-range column accepted")
+	}
+}

@@ -1,0 +1,83 @@
+// Command predata-bench regenerates the tables and figures of the
+// PreDatA paper's evaluation (IPDPS 2010, Section V).
+//
+// Usage:
+//
+//	predata-bench -experiment fig7 [-op sort|hist|hist2d|all]
+//	predata-bench -experiment fig8|fig9|fig10|fig11
+//	predata-bench -experiment ablations
+//	predata-bench -experiment all
+//
+// Model rows reproduce the paper's scales (512-16,384 cores); functional
+// mini-runs exercise the real pipeline at laptop scale.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"predata/internal/bench"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all",
+		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|ablations|all")
+	op := flag.String("op", "all", "fig7 operator: sort|hist|hist2d|all")
+	flag.Parse()
+
+	if err := run(os.Stdout, *experiment, *op); err != nil {
+		fmt.Fprintln(os.Stderr, "predata-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, experiment, op string) error {
+	ablations := func() error {
+		if err := bench.AblationScheduling(w); err != nil {
+			return err
+		}
+		if err := bench.AblationCombine(w); err != nil {
+			return err
+		}
+		if err := bench.AblationRatio(w); err != nil {
+			return err
+		}
+		if err := bench.AblationFunctionalScaling(w); err != nil {
+			return err
+		}
+		return bench.AblationBitmap(w)
+	}
+	switch experiment {
+	case "fig7":
+		return bench.Fig7(w, op)
+	case "fig8":
+		return bench.Fig8(w)
+	case "fig9":
+		return bench.Fig9(w)
+	case "fig10":
+		return bench.Fig10(w)
+	case "fig11":
+		return bench.Fig11(w)
+	case "offline":
+		return bench.Offline(w)
+	case "des":
+		return bench.DESCrossCheck(w)
+	case "ablations":
+		return ablations()
+	case "all":
+		for _, f := range []func(io.Writer) error{
+			func(w io.Writer) error { return bench.Fig7(w, op) },
+			bench.Fig8, bench.Fig9, bench.Fig10, bench.Fig11, bench.Offline,
+			bench.DESCrossCheck,
+		} {
+			if err := f(w); err != nil {
+				return err
+			}
+		}
+		return ablations()
+	default:
+		return fmt.Errorf("unknown experiment %q", experiment)
+	}
+}

@@ -1,0 +1,343 @@
+// Command predata-run executes a complete PreDatA pipeline — compute
+// writers, asynchronous staging, and a chosen set of in-transit
+// operators — at a configurable laptop scale, printing per-rank results
+// and cost statistics.
+//
+// Usage:
+//
+//	predata-run -compute 16 -staging 4 -particles 50000 -dumps 2 -ops sort,hist,hist2d,index
+//	predata-run -app pixie3d -compute 8 -staging 2 -local 16 -ops reorg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"predata/internal/adios"
+	"predata/internal/bench"
+	"predata/internal/bp"
+	"predata/internal/ffs"
+	"predata/internal/mpi"
+	"predata/internal/ops"
+	"predata/internal/pfs"
+	"predata/internal/predata"
+	"predata/internal/staging"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "staging", "configuration: staging|incompute")
+		adiosCfg  = flag.String("adios-config", "", "ADIOS XML config selecting the method per group (overrides -mode)")
+		app       = flag.String("app", "gtc", "workload: gtc|pixie3d")
+		compute   = flag.Int("compute", 16, "compute ranks")
+		stagingN  = flag.Int("staging", 4, "staging ranks")
+		particles = flag.Int("particles", 50000, "particles per compute rank (gtc)")
+		local     = flag.Int("local", 16, "local array edge (pixie3d)")
+		dumps     = flag.Int("dumps", 2, "I/O dumps")
+		opsFlag   = flag.String("ops", "sort,hist", "operators: sort,hist,hist2d,index,reorg")
+		workers   = flag.Int("workers", 2, "map workers per staging rank")
+	)
+	flag.Parse()
+
+	if *adiosCfg != "" {
+		m, err := modeFromConfig(*adiosCfg, *app)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "predata-run:", err)
+			os.Exit(1)
+		}
+		*mode = m
+	}
+	if *mode == "incompute" {
+		if err := runInCompute(*app, *compute, *particles, *local, *dumps); err != nil {
+			fmt.Fprintln(os.Stderr, "predata-run:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *mode != "staging" {
+		fmt.Fprintln(os.Stderr, "predata-run: unknown -mode", *mode)
+		os.Exit(2)
+	}
+	if err := run(*app, *compute, *stagingN, *particles, *local, *dumps, *workers, *opsFlag); err != nil {
+		fmt.Fprintln(os.Stderr, "predata-run:", err)
+		os.Exit(1)
+	}
+}
+
+func run(app string, compute, stagingN, particles, local, dumps, workers int, opsFlag string) error {
+	opNames := strings.Split(opsFlag, ",")
+	factory, err := operatorFactory(app, opNames)
+	if err != nil {
+		return err
+	}
+	cfg := predata.PipelineConfig{
+		NumCompute:      compute,
+		NumStaging:      stagingN,
+		Dumps:           dumps,
+		Engine:          staging.Config{Workers: workers},
+		PullConcurrency: 2,
+	}
+	// The min/max partial pass operates on 2D particle arrays; the
+	// Pixie3D workload ships 3D field chunks instead.
+	if cols := partialCols(app); cols != nil {
+		cfg.PartialCalculate = ops.MinMaxPartial(varFor(app), cols)
+		cfg.Aggregate = ops.MinMaxAggregate()
+	}
+	start := time.Now()
+	res, err := predata.RunPipeline(cfg, computeFn(app, particles, local, dumps), factory)
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("pipeline: %d compute + %d staging ranks, %d dumps, wall %v\n",
+		compute, stagingN, dumps, wall.Round(time.Millisecond))
+	for rank, perDump := range res.StagingStats {
+		for dump, st := range perDump {
+			fmt.Printf("staging rank %d dump %d: %d requests, %.1f MB pulled, modeled pull %v, process wall %v\n",
+				rank, dump, st.Requests, float64(st.BytesPulled)/1e6,
+				st.PullModeled.Round(time.Millisecond), st.ProcessWall.Round(time.Millisecond))
+		}
+	}
+	for rank, perDump := range res.StagingResults {
+		for dump, r := range perDump {
+			for opName, outs := range r.PerOperator {
+				fmt.Printf("staging rank %d dump %d %s:", rank, dump, opName)
+				for k, v := range outs {
+					switch val := v.(type) {
+					case int64, float64, string:
+						fmt.Printf(" %s=%v", k, val)
+					case map[int][]int64:
+						fmt.Printf(" %s=%d-histograms", k, len(val))
+					default:
+						fmt.Printf(" %s=<%T>", k, v)
+					}
+				}
+				fmt.Println()
+			}
+		}
+	}
+	return nil
+}
+
+func varFor(app string) string {
+	if app == "pixie3d" {
+		return "rho"
+	}
+	return "p"
+}
+
+func partialCols(app string) []int {
+	if app == "pixie3d" {
+		return nil
+	}
+	return []int{bench.ColZeta, bench.ColRadial, bench.ColRank}
+}
+
+// computeFn builds the per-rank application driver.
+func computeFn(app string, particles, local, dumps int) predata.ComputeFunc {
+	if app == "pixie3d" {
+		return func(comm *mpi.Comm, client *predata.Client) error {
+			n := uint64(local * local * local)
+			global := []uint64{n * uint64(comm.Size())}
+			schema := &ffs.Schema{Name: "pixie", Fields: []ffs.Field{{Name: "rho", Kind: ffs.KindArray}}}
+			for step := 0; step < dumps; step++ {
+				data := make([]float64, n)
+				for i := range data {
+					data[i] = float64(comm.Rank())*1000 + float64(i)
+				}
+				arr := &ffs.Array{
+					Dims: []uint64{n}, Global: global,
+					Offsets: []uint64{n * uint64(comm.Rank())}, Float64: data,
+				}
+				if _, err := client.Write(schema, ffs.Record{"rho": arr}, int64(step)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	return func(comm *mpi.Comm, client *predata.Client) error {
+		for step := 0; step < dumps; step++ {
+			arr := bench.GenParticles(comm.Rank(), particles, int64(step))
+			if _, err := client.Write(bench.ParticleSchema, ffs.Record{"p": arr}, int64(step)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// operatorFactory builds the per-dump operator list.
+func operatorFactory(app string, names []string) (predata.OperatorFactory, error) {
+	// Validate eagerly so flag typos fail before the pipeline launches.
+	for _, n := range names {
+		switch strings.TrimSpace(n) {
+		case "sort", "hist", "hist2d", "index", "reorg", "":
+		default:
+			return nil, fmt.Errorf("unknown operator %q (want sort|hist|hist2d|index|reorg)", n)
+		}
+	}
+	return func(dump int) []staging.Operator {
+		var out []staging.Operator
+		for _, n := range names {
+			switch strings.TrimSpace(n) {
+			case "sort":
+				op, err := ops.NewSortOperator(ops.SortConfig{
+					Var: "p", KeyMajor: bench.ColRank, KeyMinor: bench.ColID, AggFromColumn: true,
+				})
+				if err == nil {
+					out = append(out, op)
+				}
+			case "hist":
+				op, err := ops.NewHistogramOperator(ops.HistogramConfig{
+					Var: "p", Columns: []int{bench.ColZeta, bench.ColRadial, bench.ColWeight},
+					Bins: 64, AggRanges: true,
+				})
+				if err == nil {
+					out = append(out, op)
+				}
+			case "hist2d":
+				op, err := ops.NewHistogram2DOperator(ops.Histogram2DConfig{
+					Var: "p", Pairs: [][2]int{{bench.ColZeta, bench.ColRadial}},
+					Bins: 32, AggRanges: true,
+				})
+				if err == nil {
+					out = append(out, op)
+				}
+			case "index":
+				op, err := ops.NewBitmapIndexOperator(ops.BitmapIndexConfig{
+					Var: "p", Columns: []int{bench.ColZeta, bench.ColRadial},
+					Bins: 32, AggRanges: true,
+				})
+				if err == nil {
+					out = append(out, op)
+				}
+			case "reorg":
+				op, err := ops.NewReorgOperator(ops.ReorgConfig{Vars: []string{varFor(app)}})
+				if err == nil {
+					out = append(out, op)
+				}
+			}
+		}
+		return out
+	}, nil
+}
+
+// modeFromConfig reads an ADIOS XML configuration and returns the run
+// mode for the application's output group — the paper's "switch
+// configurations without changing application code" workflow. The gtc
+// workload uses group "particles"; pixie3d uses group "pixie".
+func modeFromConfig(path, app string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	cfg, err := adios.ParseConfig(f)
+	if err != nil {
+		return "", err
+	}
+	group := "particles"
+	if app == "pixie3d" {
+		group = "pixie"
+	}
+	gc, err := cfg.Group(group)
+	if err != nil {
+		return "", err
+	}
+	if gc.Schema.FieldIndex(varFor(app)) < 0 {
+		return "", fmt.Errorf("config group %q does not declare variable %q", group, varFor(app))
+	}
+	switch gc.Method {
+	case adios.MethodStaging:
+		return "staging", nil
+	case adios.MethodMPIIO:
+		return "incompute", nil
+	default:
+		return "", fmt.Errorf("config method %v unsupported by predata-run", gc.Method)
+	}
+}
+
+// runInCompute executes the paper's In-Compute-Node configuration: every
+// rank writes its dumps synchronously into one shared BP file on the
+// modeled parallel file system, and the visible write cost is reported —
+// the baseline the staging configuration is compared against.
+func runInCompute(app string, compute, particles, local, dumps int) error {
+	fs, err := pfs.New(pfs.DefaultConfig())
+	if err != nil {
+		return err
+	}
+	bw, err := bp.CreateWriter(fs, "incompute.bp", 8)
+	if err != nil {
+		return err
+	}
+	var (
+		mu      sync.Mutex
+		visible time.Duration
+		bytes   int64
+		n       int
+	)
+	writeStep := func(w adios.Writer, rank, step int) error {
+		if err := w.BeginStep(int64(step)); err != nil {
+			return err
+		}
+		if app == "pixie3d" {
+			nCells := uint64(local * local * local)
+			data := make([]float64, nCells)
+			if err := w.Write("rho", &ffs.Array{
+				Dims: []uint64{nCells}, Global: []uint64{nCells * uint64(compute)},
+				Offsets: []uint64{nCells * uint64(rank)}, Float64: data,
+			}); err != nil {
+				return err
+			}
+		} else {
+			arr := bench.GenParticles(rank, particles, int64(step))
+			if err := w.Write("p", arr); err != nil {
+				return err
+			}
+		}
+		sr, err := w.EndStep()
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		visible += sr.Modeled
+		bytes += sr.Bytes
+		n++
+		mu.Unlock()
+		return nil
+	}
+	err = mpi.Run(compute, func(comm *mpi.Comm) error {
+		w, err := adios.NewMPIIOWriter(bw, comm.Rank(), comm.Rank() == 0)
+		if err != nil {
+			return err
+		}
+		for step := 0; step < dumps; step++ {
+			if err := writeStep(w, comm.Rank(), step); err != nil {
+				return err
+			}
+		}
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		return w.Close()
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("in-compute-node: %d ranks x %d dumps, %.1f MB total, mean visible write %v/rank/dump (modeled synchronous)\n",
+		compute, dumps, float64(bytes)/1e6, (visible / time.Duration(n)).Round(time.Microsecond))
+	r, err := bp.OpenReader(fs, "incompute.bp")
+	if err != nil {
+		return err
+	}
+	for _, vi := range r.Vars() {
+		fmt.Printf("  %s step %d: %d chunks (unmerged layout)\n", vi.Name, vi.Timestep, vi.Chunks)
+	}
+	return nil
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunGTCPipeline(t *testing.T) {
+	if err := run("gtc", 4, 2, 500, 8, 1, 2, "sort,hist,hist2d,index"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunPixiePipeline(t *testing.T) {
+	if err := run("pixie3d", 4, 1, 0, 8, 1, 1, "reorg"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsUnknownOperator(t *testing.T) {
+	if err := run("gtc", 2, 1, 10, 8, 1, 1, "sort,frobnicate"); err == nil {
+		t.Fatal("unknown operator accepted")
+	}
+}
+
+func TestRunMultipleDumps(t *testing.T) {
+	if err := run("gtc", 4, 2, 200, 8, 3, 2, "hist"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOperatorFactoryValidation(t *testing.T) {
+	if _, err := operatorFactory("gtc", []string{"bogus"}); err == nil {
+		t.Fatal("bogus operator accepted")
+	}
+	f, err := operatorFactory("gtc", []string{"sort", "", "hist"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(f(0)); got != 2 {
+		t.Fatalf("factory built %d operators, want 2", got)
+	}
+}
+
+func TestVarFor(t *testing.T) {
+	if varFor("gtc") != "p" || varFor("pixie3d") != "rho" {
+		t.Error("variable mapping wrong")
+	}
+	if partialCols("pixie3d") != nil {
+		t.Error("pixie partial columns should be nil")
+	}
+	if len(partialCols("gtc")) == 0 {
+		t.Error("gtc partial columns empty")
+	}
+}
+
+func TestRunInComputeMode(t *testing.T) {
+	if err := runInCompute("gtc", 4, 500, 8, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := runInCompute("pixie3d", 4, 0, 6, 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModeFromConfig(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "adios.xml")
+	doc := `<adios-config>
+  <adios-group name="particles"><var name="p" type="array"/></adios-group>
+  <method group="particles" method="STAGING"/>
+</adios-config>`
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mode, err := modeFromConfig(path, "gtc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != "staging" {
+		t.Fatalf("mode %q", mode)
+	}
+	// MPI method maps to the in-compute configuration.
+	doc2 := `<adios-config>
+  <adios-group name="particles"><var name="p" type="array"/></adios-group>
+  <method group="particles" method="MPI"/>
+</adios-config>`
+	if err := os.WriteFile(path, []byte(doc2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mode, err = modeFromConfig(path, "gtc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mode != "incompute" {
+		t.Fatalf("mode %q", mode)
+	}
+	// Missing variable in the declared group.
+	doc3 := `<adios-config>
+  <adios-group name="particles"><var name="q" type="array"/></adios-group>
+</adios-config>`
+	if err := os.WriteFile(path, []byte(doc3), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := modeFromConfig(path, "gtc"); err == nil {
+		t.Fatal("missing variable accepted")
+	}
+	if _, err := modeFromConfig("/nonexistent/x.xml", "gtc"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module predata
+
+go 1.22

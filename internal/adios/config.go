@@ -1,0 +1,201 @@
+package adios
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strings"
+
+	"predata/internal/ffs"
+)
+
+// This file implements the ADIOS XML configuration: the mechanism that
+// lets "PreDatA processing be added without requiring changes to
+// application codes". The application declares its output groups and each
+// group's transport method in an external file; switching between the
+// In-Compute-Node and Staging configurations is a config edit, not a
+// recompile.
+//
+// Supported document shape (a subset of adios_config.xml):
+//
+//	<adios-config>
+//	  <adios-group name="particles">
+//	    <var name="electrons" type="array"/>
+//	    <var name="nparticles" type="integer"/>
+//	  </adios-group>
+//	  <method group="particles" method="STAGING"/>
+//	  <buffer size-MB="50"/>
+//	</adios-config>
+
+// MethodKind selects a transport method.
+type MethodKind int
+
+// Supported transport methods.
+const (
+	// MethodMPIIO writes synchronously to the shared BP file.
+	MethodMPIIO MethodKind = iota
+	// MethodStaging ships dumps through the PreDatA client.
+	MethodStaging
+	// MethodNull discards output (ADIOS's NULL method, for I/O-free runs).
+	MethodNull
+)
+
+// String returns the config-file spelling of the method.
+func (m MethodKind) String() string {
+	switch m {
+	case MethodMPIIO:
+		return "MPI-IO"
+	case MethodStaging:
+		return "STAGING"
+	case MethodNull:
+		return "NULL"
+	default:
+		return fmt.Sprintf("MethodKind(%d)", int(m))
+	}
+}
+
+// GroupConfig is one declared output group.
+type GroupConfig struct {
+	Schema *ffs.Schema
+	Method MethodKind
+}
+
+// Config is a parsed ADIOS configuration.
+type Config struct {
+	Groups map[string]*GroupConfig
+	// BufferMB is the staging buffer budget hint.
+	BufferMB int
+}
+
+// xml document mapping.
+type xmlConfig struct {
+	XMLName xml.Name    `xml:"adios-config"`
+	Groups  []xmlGroup  `xml:"adios-group"`
+	Methods []xmlMethod `xml:"method"`
+	Buffer  *xmlBuffer  `xml:"buffer"`
+}
+
+type xmlGroup struct {
+	Name string   `xml:"name,attr"`
+	Vars []xmlVar `xml:"var"`
+}
+
+type xmlVar struct {
+	Name string `xml:"name,attr"`
+	Type string `xml:"type,attr"`
+}
+
+type xmlMethod struct {
+	Group  string `xml:"group,attr"`
+	Method string `xml:"method,attr"`
+}
+
+type xmlBuffer struct {
+	SizeMB int `xml:"size-MB,attr"`
+}
+
+// varKind maps config var types to ffs kinds.
+func varKind(t string) (ffs.Kind, error) {
+	switch strings.ToLower(t) {
+	case "array", "":
+		return ffs.KindArray, nil
+	case "double", "real", "float":
+		return ffs.KindFloat64, nil
+	case "integer", "int":
+		return ffs.KindInt64, nil
+	case "unsigned", "uint":
+		return ffs.KindUint64, nil
+	case "string":
+		return ffs.KindString, nil
+	case "double-array":
+		return ffs.KindFloat64Slice, nil
+	case "integer-array":
+		return ffs.KindInt64Slice, nil
+	case "bytes":
+		return ffs.KindBytes, nil
+	default:
+		return ffs.KindInvalid, fmt.Errorf("adios: unknown var type %q", t)
+	}
+}
+
+// methodKind maps config method names to kinds.
+func methodKind(m string) (MethodKind, error) {
+	switch strings.ToUpper(m) {
+	case "MPI", "MPI-IO", "MPIIO", "POSIX":
+		return MethodMPIIO, nil
+	case "STAGING", "PREDATA", "DATATAP":
+		return MethodStaging, nil
+	case "NULL":
+		return MethodNull, nil
+	default:
+		return 0, fmt.Errorf("adios: unknown method %q", m)
+	}
+}
+
+// ParseConfig reads an ADIOS XML configuration.
+func ParseConfig(r io.Reader) (*Config, error) {
+	var doc xmlConfig
+	dec := xml.NewDecoder(r)
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("adios: config parse: %w", err)
+	}
+	if len(doc.Groups) == 0 {
+		return nil, fmt.Errorf("adios: config declares no groups")
+	}
+	cfg := &Config{Groups: make(map[string]*GroupConfig, len(doc.Groups))}
+	for _, g := range doc.Groups {
+		if g.Name == "" {
+			return nil, fmt.Errorf("adios: group with empty name")
+		}
+		if _, dup := cfg.Groups[g.Name]; dup {
+			return nil, fmt.Errorf("adios: group %q declared twice", g.Name)
+		}
+		if len(g.Vars) == 0 {
+			return nil, fmt.Errorf("adios: group %q has no variables", g.Name)
+		}
+		schema := &ffs.Schema{Name: g.Name}
+		seen := map[string]bool{}
+		for _, v := range g.Vars {
+			if v.Name == "" {
+				return nil, fmt.Errorf("adios: group %q has a variable with empty name", g.Name)
+			}
+			if seen[v.Name] {
+				return nil, fmt.Errorf("adios: group %q declares %q twice", g.Name, v.Name)
+			}
+			seen[v.Name] = true
+			kind, err := varKind(v.Type)
+			if err != nil {
+				return nil, fmt.Errorf("adios: group %q variable %q: %w", g.Name, v.Name, err)
+			}
+			schema.Fields = append(schema.Fields, ffs.Field{Name: v.Name, Kind: kind})
+		}
+		cfg.Groups[g.Name] = &GroupConfig{Schema: schema, Method: MethodMPIIO}
+	}
+	for _, m := range doc.Methods {
+		gc, ok := cfg.Groups[m.Group]
+		if !ok {
+			return nil, fmt.Errorf("adios: method for undeclared group %q", m.Group)
+		}
+		kind, err := methodKind(m.Method)
+		if err != nil {
+			return nil, err
+		}
+		gc.Method = kind
+	}
+	if doc.Buffer != nil {
+		if doc.Buffer.SizeMB < 0 {
+			return nil, fmt.Errorf("adios: negative buffer size %d", doc.Buffer.SizeMB)
+		}
+		cfg.BufferMB = doc.Buffer.SizeMB
+	}
+	return cfg, nil
+}
+
+// Group looks up a declared group.
+func (c *Config) Group(name string) (*GroupConfig, error) {
+	gc, ok := c.Groups[name]
+	if !ok {
+		return nil, fmt.Errorf("adios: group %q not in configuration", name)
+	}
+	return gc, nil
+}

@@ -1,0 +1,116 @@
+package adios
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"predata/internal/bp"
+	"predata/internal/ffs"
+	"predata/internal/pfs"
+)
+
+// Reader is the read-side ADIOS API: step-oriented iteration over a BP
+// file, mirroring the write side's BeginStep/EndStep discipline. Analysis
+// codes (the paper's VisIt-style consumers) walk the available steps and
+// read full variables or sub-regions.
+type Reader struct {
+	r     *bp.Reader
+	steps []int64
+	// vars[name] lists the steps at which the variable appears.
+	vars map[string][]int64
+
+	cur     int
+	open    bool
+	Modeled time.Duration
+}
+
+// OpenReader opens the named BP file on fs.
+func OpenReader(fs *pfs.FileSystem, name string) (*Reader, error) {
+	br, err := bp.OpenReader(fs, name)
+	if err != nil {
+		return nil, err
+	}
+	rd := &Reader{r: br, vars: make(map[string][]int64), cur: -1}
+	stepSet := map[int64]bool{}
+	for _, vi := range br.Vars() {
+		stepSet[vi.Timestep] = true
+		rd.vars[vi.Name] = append(rd.vars[vi.Name], vi.Timestep)
+	}
+	for s := range stepSet {
+		rd.steps = append(rd.steps, s)
+	}
+	sort.Slice(rd.steps, func(i, j int) bool { return rd.steps[i] < rd.steps[j] })
+	return rd, nil
+}
+
+// Steps returns the timesteps present in the file, ascending.
+func (rd *Reader) Steps() []int64 {
+	return append([]int64(nil), rd.steps...)
+}
+
+// Variables returns the names of variables present at the given step,
+// sorted.
+func (rd *Reader) Variables(step int64) []string {
+	var out []string
+	for name, steps := range rd.vars {
+		for _, s := range steps {
+			if s == step {
+				out = append(out, name)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BeginStep advances to the next available step. It returns false when
+// the file has no more steps.
+func (rd *Reader) BeginStep() (step int64, ok bool, err error) {
+	if rd.open {
+		return 0, false, fmt.Errorf("adios: BeginStep with step %d open", rd.steps[rd.cur])
+	}
+	if rd.cur+1 >= len(rd.steps) {
+		return 0, false, nil
+	}
+	rd.cur++
+	rd.open = true
+	return rd.steps[rd.cur], true, nil
+}
+
+// EndStep closes the current step.
+func (rd *Reader) EndStep() error {
+	if !rd.open {
+		return fmt.Errorf("adios: EndStep outside a step")
+	}
+	rd.open = false
+	return nil
+}
+
+// Read returns the named variable's full global array at the open step.
+func (rd *Reader) Read(name string) (*ffs.Array, error) {
+	if !rd.open {
+		return nil, fmt.Errorf("adios: Read(%q) outside a step", name)
+	}
+	data, dims, d, err := rd.r.ReadVar(name, rd.steps[rd.cur])
+	if err != nil {
+		return nil, err
+	}
+	rd.Modeled += d
+	return &ffs.Array{Dims: dims, Float64: data}, nil
+}
+
+// ReadSelection returns the hyper-rectangle [offsets, offsets+dims) of
+// the named global variable at the open step.
+func (rd *Reader) ReadSelection(name string, offsets, dims []uint64) (*ffs.Array, error) {
+	if !rd.open {
+		return nil, fmt.Errorf("adios: ReadSelection(%q) outside a step", name)
+	}
+	data, d, err := rd.r.ReadSubregion(name, rd.steps[rd.cur], offsets, dims)
+	if err != nil {
+		return nil, err
+	}
+	rd.Modeled += d
+	return &ffs.Array{Dims: dims, Offsets: offsets, Float64: data}, nil
+}

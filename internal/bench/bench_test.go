@@ -1,0 +1,212 @@
+package bench
+
+import (
+	"bytes"
+	"predata/internal/ops"
+	"predata/internal/staging"
+	"strings"
+	"testing"
+)
+
+func TestGenParticlesShape(t *testing.T) {
+	arr := GenParticles(3, 100, 1)
+	if arr.Dims[0] != 100 || arr.Dims[1] != AttrCount {
+		t.Fatalf("dims %v", arr.Dims)
+	}
+	// All rows carry the writer rank, and the local ids form a permutation.
+	seen := make(map[int]bool)
+	for i := 0; i < 100; i++ {
+		row := arr.Float64[i*AttrCount:]
+		if row[ColRank] != 3 {
+			t.Fatalf("row %d rank %g", i, row[ColRank])
+		}
+		seen[int(row[ColID])] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("%d distinct ids", len(seen))
+	}
+	// Deterministic per (rank, seed).
+	again := GenParticles(3, 100, 1)
+	for i := range arr.Float64 {
+		if arr.Float64[i] != again.Float64[i] {
+			t.Fatal("generator not deterministic")
+		}
+	}
+	other := GenParticles(4, 100, 1)
+	diff := false
+	for i := range arr.Float64 {
+		if arr.Float64[i] != other.Float64[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different ranks produced identical particles")
+	}
+}
+
+// runFig executes a figure function and checks its output mentions the
+// expected markers.
+func runFig(t *testing.T, name string, f func() (string, error), markers ...string) {
+	t.Helper()
+	out, err := f()
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	for _, m := range markers {
+		if !strings.Contains(out, m) {
+			t.Errorf("%s output missing %q", name, m)
+		}
+	}
+}
+
+func TestFig7(t *testing.T) {
+	runFig(t, "fig7", func() (string, error) {
+		var buf bytes.Buffer
+		err := Fig7(&buf, "all")
+		return buf.String(), err
+	}, "sorting operation", "histogram operation", "2D histogram operation",
+		"functional mini-run", "16384")
+}
+
+func TestFig7UnknownOp(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig7(&buf, "bogus"); err == nil {
+		t.Fatal("unknown operator accepted")
+	}
+}
+
+func TestFig8(t *testing.T) {
+	runFig(t, "fig8", func() (string, error) {
+		var buf bytes.Buffer
+		err := Fig8(&buf)
+		return buf.String(), err
+	}, "improvement", "CPU saving", "headlines at 16,384 cores", "paper: 8.6s")
+}
+
+func TestFig9(t *testing.T) {
+	runFig(t, "fig9", func() (string, error) {
+		var buf bytes.Buffer
+		err := Fig9(&buf)
+		return buf.String(), err
+	}, "DataSpaces", "fetch", "paper: 20.3s")
+}
+
+func TestFig10(t *testing.T) {
+	runFig(t, "fig10", func() (string, error) {
+		var buf bytes.Buffer
+		err := Fig10(&buf)
+		return buf.String(), err
+	}, "Pixie3D", "slowdown", "0.01%-0.7%")
+}
+
+func TestFig11(t *testing.T) {
+	runFig(t, "fig11", func() (string, error) {
+		var buf bytes.Buffer
+		err := Fig11(&buf)
+		return buf.String(), err
+	}, "merged vs unmerged", "functional mini-run", "speedup")
+}
+
+func TestFig11FunctionalGap(t *testing.T) {
+	merged, unmerged, chunks, err := Fig11Functional(32, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chunks != 32 {
+		t.Errorf("unmerged extents %d want 32", chunks)
+	}
+	if float64(unmerged) < 3*float64(merged) {
+		t.Errorf("unmerged %v not much slower than merged %v", unmerged, merged)
+	}
+}
+
+func TestOffline(t *testing.T) {
+	runFig(t, "offline", func() (string, error) {
+		var buf bytes.Buffer
+		err := Offline(&buf)
+		return buf.String(), err
+	}, "offline", "in-transit", "65536", "monitoring")
+}
+
+func TestAblationScheduling(t *testing.T) {
+	runFig(t, "scheduling", func() (string, error) {
+		var buf bytes.Buffer
+		err := AblationScheduling(&buf)
+		return buf.String(), err
+	}, "scheduled", "unscheduled")
+}
+
+func TestAblationCombine(t *testing.T) {
+	var buf bytes.Buffer
+	if err := AblationCombine(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "shuffle-volume reduction") {
+		t.Errorf("output missing reduction factor:\n%s", out)
+	}
+}
+
+func TestAblationRatio(t *testing.T) {
+	runFig(t, "ratio", func() (string, error) {
+		var buf bytes.Buffer
+		err := AblationRatio(&buf)
+		return buf.String(), err
+	}, "64:1", "256:1", "fits 120s")
+}
+
+func TestAblationBitmap(t *testing.T) {
+	runFig(t, "bitmap", func() (string, error) {
+		var buf bytes.Buffer
+		err := AblationBitmap(&buf)
+		return buf.String(), err
+	}, "indexed", "full scan")
+}
+
+func TestMiniPipelineCounts(t *testing.T) {
+	res, wall, err := MiniPipeline(4, 2, 100, func(int) []staging.Operator {
+		op, err := ops.NewHistogramOperator(ops.HistogramConfig{
+			Var: "p", Columns: []int{ColZeta}, Bins: 8, AggRanges: true,
+		})
+		if err != nil {
+			t.Error(err)
+			return nil
+		}
+		return []staging.Operator{op}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wall <= 0 {
+		t.Errorf("wall %v", wall)
+	}
+	var total int64
+	for rank := 0; rank < 2; rank++ {
+		hists := res.StagingResults[rank][0].PerOperator["histogram"]["histograms"].(map[int][]int64)
+		for _, counts := range hists {
+			for _, c := range counts {
+				total += c
+			}
+		}
+	}
+	if total != 400 {
+		t.Errorf("histogram total %d want 400", total)
+	}
+}
+
+func TestDESCrossCheck(t *testing.T) {
+	runFig(t, "des", func() (string, error) {
+		var buf bytes.Buffer
+		err := DESCrossCheck(&buf)
+		return buf.String(), err
+	}, "discrete-event", "16384", "staging wins")
+}
+
+func TestAblationFunctionalScaling(t *testing.T) {
+	runFig(t, "scaling", func() (string, error) {
+		var buf bytes.Buffer
+		err := AblationFunctionalScaling(&buf)
+		return buf.String(), err
+	}, "weak-scaling", "particles/rank", "map time")
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"sync"
+	"time"
+
+	"predata/internal/adios"
+	"predata/internal/apps/gtc"
+	"predata/internal/bp"
+	"predata/internal/mpi"
+	"predata/internal/ops"
+	"predata/internal/pfs"
+	"predata/internal/predata"
+	"predata/internal/staging"
+)
+
+// GTCConfigComparison runs the GTC proxy under the paper's two
+// configurations with the real implementation and returns the mean
+// visible I/O blocking per dump under each:
+//
+//   - In-Compute-Node: synchronous shared-BP-file write through the
+//     modeled parallel file system (Modeled duration);
+//   - Staging: PreDatA staging writer (real pack + dispatch time), with
+//     the histogram operator consuming the dumps in the staging area.
+func GTCConfigComparison(ranks, steps, perRank int) (inCompute, stagingVisible time.Duration, err error) {
+	// --- In-Compute-Node configuration. ---
+	fs, err := pfs.New(pfs.Config{
+		NumOSTs: 16, OSTBandwidth: 500e6, StripeSize: 1 << 20,
+		OpLatency: 5 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	bw, err := bp.CreateWriter(fs, "gtc_ic.bp", 8)
+	if err != nil {
+		return 0, 0, err
+	}
+	var (
+		mu      sync.Mutex
+		icTotal time.Duration
+		icN     int
+	)
+	err = mpi.Run(ranks, func(comm *mpi.Comm) error {
+		sim, err := gtc.New(gtc.Config{
+			Rank: comm.Rank(), NumRanks: ranks,
+			ParticlesPerRank: perRank, MigrationFraction: 0.1, Seed: 11,
+		})
+		if err != nil {
+			return err
+		}
+		w, err := adios.NewMPIIOWriter(bw, comm.Rank(), comm.Rank() == 0)
+		if err != nil {
+			return err
+		}
+		for s := 0; s < steps; s++ {
+			if err := sim.Step(comm); err != nil {
+				return err
+			}
+			sr, err := sim.WriteOutput(w)
+			if err != nil {
+				return err
+			}
+			mu.Lock()
+			icTotal += sr.Modeled
+			icN++
+			mu.Unlock()
+		}
+		if err := comm.Barrier(); err != nil {
+			return err
+		}
+		return w.Close()
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+
+	// --- Staging configuration: same proxy, staging writer, histogram
+	// operator consuming every dump. ---
+	var (
+		stTotal time.Duration
+		stN     int
+	)
+	cfg := predata.PipelineConfig{
+		NumCompute: ranks,
+		NumStaging: max(1, ranks/4),
+		Dumps:      steps,
+		Engine:     staging.Config{Workers: 2},
+	}
+	_, err = predata.RunPipeline(cfg,
+		func(comm *mpi.Comm, client *predata.Client) error {
+			sim, err := gtc.New(gtc.Config{
+				Rank: comm.Rank(), NumRanks: ranks,
+				ParticlesPerRank: perRank, MigrationFraction: 0.1, Seed: 11,
+			})
+			if err != nil {
+				return err
+			}
+			w, err := adios.NewStagingWriter(client, gtc.Schema())
+			if err != nil {
+				return err
+			}
+			for s := 0; s < steps; s++ {
+				if err := sim.Step(comm); err != nil {
+					return err
+				}
+				if err := w.BeginStep(int64(s)); err != nil {
+					return err
+				}
+				if err := w.Write("electrons", sim.Particles(gtc.Electrons)); err != nil {
+					return err
+				}
+				if err := w.Write("ions", sim.Particles(gtc.Ions)); err != nil {
+					return err
+				}
+				sr, err := w.EndStep()
+				if err != nil {
+					return err
+				}
+				mu.Lock()
+				stTotal += sr.Real
+				stN++
+				mu.Unlock()
+			}
+			return nil
+		},
+		func(dump int) []staging.Operator {
+			op, err := ops.NewHistogramOperator(ops.HistogramConfig{
+				Var: "electrons", Columns: []int{gtc.AttrZeta}, Bins: 32,
+				Ranges: map[int][2]float64{gtc.AttrZeta: {0, 7}},
+			})
+			if err != nil {
+				return nil
+			}
+			return []staging.Operator{op}
+		})
+	if err != nil {
+		return 0, 0, err
+	}
+	return icTotal / time.Duration(icN), stTotal / time.Duration(stN), nil
+}

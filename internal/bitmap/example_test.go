@@ -1,0 +1,26 @@
+package bitmap_test
+
+import (
+	"fmt"
+
+	"predata/internal/bitmap"
+)
+
+// Example shows the GTC range-query pattern: build a binned index over an
+// attribute once, then answer range queries without scanning.
+func Example() {
+	// Particle radial coordinates.
+	values := []float64{0.05, 0.42, 0.43, 0.44, 0.91, 0.12, 0.47, 0.88}
+	ix, err := bitmap.BuildIndex(values, 10, [2]float64{0, 1})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	rows, err := ix.Query(values, bitmap.RangeQuery{Lo: 0.4, Hi: 0.5})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(rows)
+	// Output: [1 2 3 6]
+}

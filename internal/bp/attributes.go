@@ -1,0 +1,122 @@
+package bp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Attribute is a small named metadata item stored in the file footer —
+// ADIOS attributes: provenance ("sorted_by"), physical units, run
+// parameters. Value is either a string or a float64.
+type Attribute struct {
+	Name   string
+	String string
+	Float  float64
+	// IsString discriminates the value kind.
+	IsString bool
+}
+
+// SetAttribute records an attribute to be written with the footer.
+// Re-setting a name overwrites. Attributes are only durable after Close.
+func (w *Writer) SetAttribute(name string, value any) error {
+	if name == "" {
+		return fmt.Errorf("bp: attribute with empty name")
+	}
+	var a Attribute
+	a.Name = name
+	switch v := value.(type) {
+	case string:
+		a.String = v
+		a.IsString = true
+	case float64:
+		a.Float = v
+	case int:
+		a.Float = float64(v)
+	default:
+		return fmt.Errorf("bp: attribute %q has unsupported type %T", name, value)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("bp: attribute on closed writer")
+	}
+	if w.attrs == nil {
+		w.attrs = make(map[string]Attribute)
+	}
+	w.attrs[name] = a
+	return nil
+}
+
+// encodeAttributes serializes the attribute table (sorted by name for
+// deterministic output).
+func encodeAttributes(attrs map[string]Attribute) []byte {
+	names := make([]string, 0, len(attrs))
+	for n := range attrs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(names)))
+	for _, n := range names {
+		a := attrs[n]
+		buf = appendString(buf, a.Name)
+		if a.IsString {
+			buf = append(buf, 1)
+			buf = appendString(buf, a.String)
+		} else {
+			buf = append(buf, 0)
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(a.Float))
+		}
+	}
+	return buf
+}
+
+// decodeAttributes parses the attribute table.
+func decodeAttributes(c *cursor) (map[string]Attribute, error) {
+	n := int(c.u32())
+	if c.err != nil {
+		return nil, c.err
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("bp: implausible attribute count %d", n)
+	}
+	out := make(map[string]Attribute, n)
+	for i := 0; i < n; i++ {
+		a := Attribute{Name: c.str()}
+		if !c.need(1) {
+			return nil, c.err
+		}
+		kind := c.buf[c.off]
+		c.off++
+		switch kind {
+		case 1:
+			a.IsString = true
+			a.String = c.str()
+		case 0:
+			a.Float = math.Float64frombits(c.u64())
+		default:
+			return nil, fmt.Errorf("bp: attribute %q has bad kind %d", a.Name, kind)
+		}
+		if c.err != nil {
+			return nil, c.err
+		}
+		out[a.Name] = a
+	}
+	return out, nil
+}
+
+// Attributes returns the file's attribute table (possibly empty).
+func (r *Reader) Attributes() map[string]Attribute {
+	out := make(map[string]Attribute, len(r.attrs))
+	for k, v := range r.attrs {
+		out[k] = v
+	}
+	return out
+}
+
+// Attribute looks one attribute up.
+func (r *Reader) Attribute(name string) (Attribute, bool) {
+	a, ok := r.attrs[name]
+	return a, ok
+}

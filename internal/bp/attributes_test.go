@@ -1,0 +1,88 @@
+package bp
+
+import (
+	"testing"
+)
+
+func TestAttributesRoundTrip(t *testing.T) {
+	fs := newFS(t)
+	w, err := CreateWriter(fs, "a.bp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetAttribute("sorted_by", "particle label"); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetAttribute("io_interval_seconds", 120.0); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SetAttribute("writers", 64); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite.
+	if err := w.SetAttribute("sorted_by", "label (rank, id)"); err != nil {
+		t.Fatal(err)
+	}
+	w.WritePG(0, 0, []VarChunk{{Name: "v", Dims: []uint64{1}, Data: []float64{1}}})
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := OpenReader(fs, "a.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := r.Attributes()
+	if len(attrs) != 3 {
+		t.Fatalf("attributes %v", attrs)
+	}
+	if a, ok := r.Attribute("sorted_by"); !ok || !a.IsString || a.String != "label (rank, id)" {
+		t.Errorf("sorted_by = %+v", a)
+	}
+	if a, ok := r.Attribute("io_interval_seconds"); !ok || a.IsString || a.Float != 120 {
+		t.Errorf("io_interval_seconds = %+v", a)
+	}
+	if a, ok := r.Attribute("writers"); !ok || a.Float != 64 {
+		t.Errorf("writers = %+v", a)
+	}
+	if _, ok := r.Attribute("ghost"); ok {
+		t.Error("phantom attribute found")
+	}
+	// Data still reads correctly alongside attributes.
+	got, _, _, err := r.ReadVar("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Errorf("data %v", got)
+	}
+}
+
+func TestAttributesEmptyTable(t *testing.T) {
+	fs := newFS(t)
+	w, _ := CreateWriter(fs, "n.bp", 4)
+	w.WritePG(0, 0, []VarChunk{{Name: "v", Dims: []uint64{1}, Data: []float64{1}}})
+	w.Close()
+	r, err := OpenReader(fs, "n.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Attributes()) != 0 {
+		t.Errorf("attributes %v", r.Attributes())
+	}
+}
+
+func TestAttributeValidation(t *testing.T) {
+	fs := newFS(t)
+	w, _ := CreateWriter(fs, "e.bp", 4)
+	if err := w.SetAttribute("", "x"); err == nil {
+		t.Error("empty name accepted")
+	}
+	if err := w.SetAttribute("bad", []int{1}); err == nil {
+		t.Error("unsupported type accepted")
+	}
+	w.Close()
+	if err := w.SetAttribute("late", "x"); err == nil {
+		t.Error("attribute after close accepted")
+	}
+}

@@ -1,0 +1,83 @@
+package bp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestChecksumDetectsCorruption flips a byte inside a chunk payload and
+// requires the read to fail with a checksum error instead of returning
+// silently wrong science data.
+func TestChecksumDetectsCorruption(t *testing.T) {
+	fs := newFS(t)
+	w, err := CreateWriter(fs, "c.bp", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, 64)
+	for i := range data {
+		data[i] = float64(i)
+	}
+	if _, err := w.WritePG(0, 0, []VarChunk{{Name: "v", Dims: []uint64{64}, Data: data}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt one payload byte (the payload starts after the PG header;
+	// flipping a byte in the middle of the file is inside it).
+	f, err := fs.Open("c.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := f.Size() / 3
+	b := make([]byte, 1)
+	if _, err := f.ReadAt(b, pos); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xFF
+	if _, err := f.WriteAt(b, pos); err != nil {
+		t.Fatal(err)
+	}
+	r, err := OpenReader(fs, "c.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, err = r.ReadVar("v", 0)
+	if err == nil {
+		t.Fatal("corrupted payload read successfully")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestChecksumCleanRead: an uncorrupted file reads without checksum
+// complaints (guards against checksum-computation asymmetry).
+func TestChecksumCleanRead(t *testing.T) {
+	fs := newFS(t)
+	w, _ := CreateWriter(fs, "ok.bp", 4)
+	for rank := 0; rank < 4; rank++ {
+		data := []float64{float64(rank), float64(rank) + 0.5}
+		if _, err := w.WritePG(rank, 0, []VarChunk{{
+			Name: "v", Dims: []uint64{2}, Global: []uint64{8},
+			Offsets: []uint64{uint64(rank * 2)}, Data: data,
+		}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	w.Close()
+	r, err := OpenReader(fs, "ok.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := r.ReadVar("v", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for rank := 0; rank < 4; rank++ {
+		if got[rank*2] != float64(rank) {
+			t.Fatalf("elem %d = %g", rank*2, got[rank*2])
+		}
+	}
+}

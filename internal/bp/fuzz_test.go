@@ -1,0 +1,35 @@
+package bp
+
+import "testing"
+
+// FuzzParseFooter hardens the index parser against corrupted or
+// adversarial footers: decode or error, never panic.
+func FuzzParseFooter(f *testing.F) {
+	// Seed with a real footer.
+	fs := newFS(&testing.T{})
+	w, err := CreateWriter(fs, "seed.bp", 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	w.SetAttribute("k", "v")
+	w.WritePG(0, 1, []VarChunk{{
+		Name: "x", Dims: []uint64{2}, Global: []uint64{4},
+		Offsets: []uint64{0}, Data: []float64{1, 2},
+	}})
+	w.Close()
+	file, err := fs.Open("seed.bp")
+	if err != nil {
+		f.Fatal(err)
+	}
+	raw := make([]byte, file.Size())
+	if _, err := file.ReadAt(raw, 0); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(raw)
+	f.Add([]byte{})
+	f.Add(raw[:16])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := &Reader{}
+		_ = r.parseFooter(data)
+	})
+}

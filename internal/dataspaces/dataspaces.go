@@ -1,0 +1,615 @@
+// Package dataspaces implements the DataSpaces global data knowledge
+// service integrated into PreDatA: a virtual, semantically-specialized
+// shared space over the staging area that applications access with
+// location-agnostic put/get operators on multi-dimensional regions.
+//
+// Services provided, following the paper's Section IV-D:
+//
+//   - data sharing and redistribution: put() a region from any
+//     decomposition, get() any other region — the space reassembles it;
+//   - data indexing: the domain is split into blocks linearized with a
+//     Hilbert space-filling curve, so geometrically close blocks land on
+//     the same server and region queries touch few servers;
+//   - data querying: region gets, aggregation queries (min/max/avg/sum),
+//     and continuous queries with notification when new data intersects a
+//     registered region of interest;
+//   - coherency: objects are immutable per (name, version); a per-object
+//     reader/writer lock service coordinates concurrent frameworks;
+//   - load balancing: block placement follows the SFC, spreading storage
+//     evenly; Stats exposes the per-server occupancy for verification.
+package dataspaces
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"predata/internal/hilbert"
+)
+
+// Domain describes the global discretization of the application data,
+// e.g. a 2·10⁶ × 256 grid of (particle local id, writer rank) for GTC.
+type Domain struct {
+	// Dims are the global grid dimensions (1, 2, or 3 supported).
+	Dims []uint64
+	// BlockSize is the per-dimension block edge used for distribution;
+	// zero selects a default that yields a few thousand blocks.
+	BlockSize []uint64
+}
+
+// Config configures a Space.
+type Config struct {
+	// Servers is the number of staging cores serving the space.
+	Servers int
+	Domain  Domain
+}
+
+// Space is the shared-space frontend. All methods are safe for concurrent
+// use by any number of client goroutines.
+type Space struct {
+	cfg    Config
+	block  []uint64 // resolved block size
+	nblk   []uint64 // blocks per dimension
+	curve2 *hilbert.Curve2D
+	curve3 *hilbert.Curve3D
+
+	servers []*server
+
+	mu   sync.Mutex
+	subs []*subscription
+	// locks is the per-object reader/writer lock service.
+	locks map[string]*objLock
+}
+
+// server is one shard of the space.
+type server struct {
+	mu sync.Mutex
+	// objects maps (name, version, blockID) to the block's stored cells.
+	objects map[objKey]*blockData
+	// queries counts Get/Reduce block lookups served by this shard — the
+	// paper's claim that the index "distribute[s] incoming queries across
+	// these nodes" is checked against this counter.
+	queries int64
+}
+
+type objKey struct {
+	name    string
+	version int
+	block   uint64
+}
+
+// blockData stores the cells of one block present in the space, sparse
+// within the block.
+type blockData struct {
+	// lb is the block's global lower bound; dims the block extent
+	// (clipped at domain edges).
+	lb, dims []uint64
+	data     []float64
+	valid    []bool
+}
+
+type subscription struct {
+	name    string
+	lb, ub  []uint64
+	ch      chan Notification
+	space   *Space
+	removed bool
+}
+
+// Notification reports a put intersecting a registered region of interest.
+type Notification struct {
+	Name    string
+	Version int
+	// Lb and Ub bound the newly inserted region (inclusive lower,
+	// exclusive upper).
+	Lb, Ub []uint64
+}
+
+// New builds a space over the given domain.
+func New(cfg Config) (*Space, error) {
+	if cfg.Servers < 1 {
+		return nil, fmt.Errorf("dataspaces: Servers %d must be >= 1", cfg.Servers)
+	}
+	nd := len(cfg.Domain.Dims)
+	if nd < 1 || nd > 3 {
+		return nil, fmt.Errorf("dataspaces: domain rank %d unsupported (want 1-3)", nd)
+	}
+	for i, d := range cfg.Domain.Dims {
+		if d == 0 {
+			return nil, fmt.Errorf("dataspaces: domain dim %d is zero", i)
+		}
+	}
+	s := &Space{cfg: cfg, locks: make(map[string]*objLock)}
+	// Resolve block sizes: aim for ~4096 blocks total by default.
+	s.block = make([]uint64, nd)
+	if cfg.Domain.BlockSize != nil {
+		if len(cfg.Domain.BlockSize) != nd {
+			return nil, fmt.Errorf("dataspaces: block size rank %d != domain rank %d",
+				len(cfg.Domain.BlockSize), nd)
+		}
+		for i, b := range cfg.Domain.BlockSize {
+			if b == 0 {
+				return nil, fmt.Errorf("dataspaces: block size dim %d is zero", i)
+			}
+			s.block[i] = b
+		}
+	} else {
+		perDim := math.Pow(4096, 1/float64(nd))
+		for i, d := range cfg.Domain.Dims {
+			b := uint64(math.Ceil(float64(d) / perDim))
+			if b == 0 {
+				b = 1
+			}
+			s.block[i] = b
+		}
+	}
+	s.nblk = make([]uint64, nd)
+	maxBlocks := uint64(1)
+	for i, d := range cfg.Domain.Dims {
+		s.nblk[i] = (d + s.block[i] - 1) / s.block[i]
+		maxBlocks = max64(maxBlocks, s.nblk[i])
+	}
+	// Hilbert order covering the block grid.
+	order := uint(1)
+	for (uint64(1) << order) < maxBlocks {
+		order++
+	}
+	var err error
+	switch nd {
+	case 2:
+		s.curve2, err = hilbert.NewCurve2D(minUint(order, 31))
+	case 3:
+		s.curve3, err = hilbert.NewCurve3D(minUint(order, 20))
+	}
+	if err != nil {
+		return nil, err
+	}
+	s.servers = make([]*server, cfg.Servers)
+	for i := range s.servers {
+		s.servers[i] = &server{objects: make(map[objKey]*blockData)}
+	}
+	return s, nil
+}
+
+func minUint(a, b uint) uint {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// blockID linearizes block coordinates along the SFC.
+func (s *Space) blockID(coord []uint64) uint64 {
+	switch len(coord) {
+	case 1:
+		return coord[0]
+	case 2:
+		d, err := s.curve2.Encode(coord[0], coord[1])
+		if err != nil {
+			// Block grids are padded to powers of two by the curve order,
+			// so encoding a valid block coordinate cannot fail.
+			panic(fmt.Sprintf("dataspaces: internal: %v", err))
+		}
+		return d
+	default:
+		d, err := s.curve3.Encode(coord[0], coord[1], coord[2])
+		if err != nil {
+			panic(fmt.Sprintf("dataspaces: internal: %v", err))
+		}
+		return d
+	}
+}
+
+// serverOf places a block on a server: contiguous SFC ranges spread
+// round-robin, which balances load while preserving locality.
+func (s *Space) serverOf(blockID uint64) int {
+	return int(blockID % uint64(len(s.servers)))
+}
+
+// checkRegion validates an (lb, ub) region against the domain.
+func (s *Space) checkRegion(lb, ub []uint64) error {
+	nd := len(s.cfg.Domain.Dims)
+	if len(lb) != nd || len(ub) != nd {
+		return fmt.Errorf("dataspaces: region rank (%d,%d) != domain rank %d", len(lb), len(ub), nd)
+	}
+	for i := 0; i < nd; i++ {
+		if lb[i] >= ub[i] {
+			return fmt.Errorf("dataspaces: region empty in dim %d: [%d,%d)", i, lb[i], ub[i])
+		}
+		if ub[i] > s.cfg.Domain.Dims[i] {
+			return fmt.Errorf("dataspaces: region exceeds domain in dim %d: %d > %d",
+				i, ub[i], s.cfg.Domain.Dims[i])
+		}
+	}
+	return nil
+}
+
+// regionElems counts the cells in a region.
+func regionElems(lb, ub []uint64) uint64 {
+	n := uint64(1)
+	for i := range lb {
+		n *= ub[i] - lb[i]
+	}
+	return n
+}
+
+// forEachBlock visits every block intersecting [lb, ub) with the
+// intersection bounds.
+func (s *Space) forEachBlock(lb, ub []uint64, visit func(coord, ilb, iub []uint64) error) error {
+	nd := len(lb)
+	loBlk := make([]uint64, nd)
+	hiBlk := make([]uint64, nd)
+	for i := 0; i < nd; i++ {
+		loBlk[i] = lb[i] / s.block[i]
+		hiBlk[i] = (ub[i] - 1) / s.block[i]
+	}
+	coord := make([]uint64, nd)
+	copy(coord, loBlk)
+	for {
+		ilb := make([]uint64, nd)
+		iub := make([]uint64, nd)
+		for i := 0; i < nd; i++ {
+			blkLo := coord[i] * s.block[i]
+			blkHi := blkLo + s.block[i]
+			ilb[i] = max64(lb[i], blkLo)
+			if ub[i] < blkHi {
+				iub[i] = ub[i]
+			} else {
+				iub[i] = blkHi
+			}
+		}
+		if err := visit(coord, ilb, iub); err != nil {
+			return err
+		}
+		// Advance the block multi-index.
+		d := nd - 1
+		for ; d >= 0; d-- {
+			coord[d]++
+			if coord[d] <= hiBlk[d] {
+				break
+			}
+			coord[d] = loBlk[d]
+		}
+		if d < 0 {
+			return nil
+		}
+	}
+}
+
+// Put inserts the row-major data of region [lb, ub) under (name, version).
+// Overlapping cells from a later Put of the same version overwrite.
+func (s *Space) Put(name string, version int, lb, ub []uint64, data []float64) error {
+	if name == "" {
+		return fmt.Errorf("dataspaces: empty object name")
+	}
+	if err := s.checkRegion(lb, ub); err != nil {
+		return err
+	}
+	if uint64(len(data)) != regionElems(lb, ub) {
+		return fmt.Errorf("dataspaces: region holds %d cells, data has %d", regionElems(lb, ub), len(data))
+	}
+	err := s.forEachBlock(lb, ub, func(coord, ilb, iub []uint64) error {
+		id := s.blockID(coord)
+		srv := s.servers[s.serverOf(id)]
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		key := objKey{name: name, version: version, block: id}
+		bd, ok := srv.objects[key]
+		if !ok {
+			nd := len(coord)
+			blb := make([]uint64, nd)
+			bdims := make([]uint64, nd)
+			for i := 0; i < nd; i++ {
+				blb[i] = coord[i] * s.block[i]
+				hi := blb[i] + s.block[i]
+				if hi > s.cfg.Domain.Dims[i] {
+					hi = s.cfg.Domain.Dims[i]
+				}
+				bdims[i] = hi - blb[i]
+			}
+			n := uint64(1)
+			for _, d := range bdims {
+				n *= d
+			}
+			bd = &blockData{lb: blb, dims: bdims, data: make([]float64, n), valid: make([]bool, n)}
+			srv.objects[key] = bd
+		}
+		// Copy the intersection cells from the put region into the block.
+		copyCells(ilb, iub, func(idx []uint64) {
+			src := flatten(idx, lb, ub)
+			dstDimsUB := make([]uint64, len(bd.lb))
+			for i := range dstDimsUB {
+				dstDimsUB[i] = bd.lb[i] + bd.dims[i]
+			}
+			dst := flatten(idx, bd.lb, dstDimsUB)
+			bd.data[dst] = data[src]
+			bd.valid[dst] = true
+		})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	s.notify(name, version, lb, ub)
+	return nil
+}
+
+// copyCells iterates every multi-index in [lb, ub).
+func copyCells(lb, ub []uint64, visit func(idx []uint64)) {
+	nd := len(lb)
+	idx := make([]uint64, nd)
+	copy(idx, lb)
+	for {
+		visit(idx)
+		d := nd - 1
+		for ; d >= 0; d-- {
+			idx[d]++
+			if idx[d] < ub[d] {
+				break
+			}
+			idx[d] = lb[d]
+		}
+		if d < 0 {
+			return
+		}
+	}
+}
+
+// flatten converts a global multi-index into the row-major offset within
+// box [lb, ub).
+func flatten(idx, lb, ub []uint64) uint64 {
+	var pos uint64
+	stride := uint64(1)
+	for d := len(lb) - 1; d >= 0; d-- {
+		pos += (idx[d] - lb[d]) * stride
+		stride *= ub[d] - lb[d]
+	}
+	return pos
+}
+
+// Get retrieves region [lb, ub) of (name, version) as a row-major slice.
+// Every requested cell must have been put; missing cells are an error.
+func (s *Space) Get(name string, version int, lb, ub []uint64) ([]float64, error) {
+	if err := s.checkRegion(lb, ub); err != nil {
+		return nil, err
+	}
+	out := make([]float64, regionElems(lb, ub))
+	err := s.forEachBlock(lb, ub, func(coord, ilb, iub []uint64) error {
+		id := s.blockID(coord)
+		srv := s.servers[s.serverOf(id)]
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		srv.queries++
+		bd, ok := srv.objects[objKey{name: name, version: version, block: id}]
+		if !ok {
+			return fmt.Errorf("dataspaces: %s@%d block %v not in space", name, version, coord)
+		}
+		var missing bool
+		dstDimsUB := make([]uint64, len(bd.lb))
+		for i := range dstDimsUB {
+			dstDimsUB[i] = bd.lb[i] + bd.dims[i]
+		}
+		copyCells(ilb, iub, func(idx []uint64) {
+			src := flatten(idx, bd.lb, dstDimsUB)
+			if !bd.valid[src] {
+				missing = true
+				return
+			}
+			out[flatten(idx, lb, ub)] = bd.data[src]
+		})
+		if missing {
+			return fmt.Errorf("dataspaces: %s@%d has unset cells in block %v", name, version, coord)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ReduceOp selects an aggregation for Reduce queries.
+type ReduceOp int
+
+// Aggregation operators.
+const (
+	ReduceMin ReduceOp = iota
+	ReduceMax
+	ReduceSum
+	ReduceAvg
+)
+
+// Reduce evaluates an aggregation query over region [lb, ub) — the
+// paper's "max/min/average value for a particular field in a given
+// sub-region".
+func (s *Space) Reduce(name string, version int, lb, ub []uint64, op ReduceOp) (float64, error) {
+	data, err := s.Get(name, version, lb, ub)
+	if err != nil {
+		return 0, err
+	}
+	switch op {
+	case ReduceMin:
+		out := math.Inf(1)
+		for _, v := range data {
+			out = math.Min(out, v)
+		}
+		return out, nil
+	case ReduceMax:
+		out := math.Inf(-1)
+		for _, v := range data {
+			out = math.Max(out, v)
+		}
+		return out, nil
+	case ReduceSum, ReduceAvg:
+		var sum float64
+		for _, v := range data {
+			sum += v
+		}
+		if op == ReduceAvg {
+			return sum / float64(len(data)), nil
+		}
+		return sum, nil
+	default:
+		return 0, fmt.Errorf("dataspaces: unknown reduce op %d", op)
+	}
+}
+
+// EvictVersion drops every block of (name, version) from the space,
+// returning the number of cells released. Staging-node memory is the
+// scarce resource the paper's streaming design protects; consumers evict
+// versions they have finished with so long runs stay within budget.
+func (s *Space) EvictVersion(name string, version int) int64 {
+	var cells int64
+	for _, srv := range s.servers {
+		srv.mu.Lock()
+		for k, bd := range srv.objects {
+			if k.name == name && k.version == version {
+				cells += int64(len(bd.data))
+				delete(srv.objects, k)
+			}
+		}
+		srv.mu.Unlock()
+	}
+	return cells
+}
+
+// MemoryCells reports the total number of stored cells across all
+// servers — the space's in-memory footprint in value units.
+func (s *Space) MemoryCells() int64 {
+	var n int64
+	for _, srv := range s.servers {
+		srv.mu.Lock()
+		for _, bd := range srv.objects {
+			n += int64(len(bd.data))
+		}
+		srv.mu.Unlock()
+	}
+	return n
+}
+
+// Versions lists the stored versions of an object, ascending.
+func (s *Space) Versions(name string) []int {
+	seen := map[int]bool{}
+	for _, srv := range s.servers {
+		srv.mu.Lock()
+		for k := range srv.objects {
+			if k.name == name {
+				seen[k.version] = true
+			}
+		}
+		srv.mu.Unlock()
+	}
+	out := make([]int, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Subscribe registers a continuous query: the returned channel receives a
+// Notification whenever a Put intersects [lb, ub). The channel has a small
+// buffer; notifications to a full channel are dropped (the subscriber can
+// always Get the latest version). Call Unsubscribe to release it.
+func (s *Space) Subscribe(name string, lb, ub []uint64) (<-chan Notification, func(), error) {
+	if err := s.checkRegion(lb, ub); err != nil {
+		return nil, nil, err
+	}
+	sub := &subscription{
+		name: name,
+		lb:   append([]uint64(nil), lb...),
+		ub:   append([]uint64(nil), ub...),
+		ch:   make(chan Notification, 16),
+	}
+	s.mu.Lock()
+	s.subs = append(s.subs, sub)
+	s.mu.Unlock()
+	cancel := func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if sub.removed {
+			return
+		}
+		sub.removed = true
+		for i, x := range s.subs {
+			if x == sub {
+				s.subs = append(s.subs[:i], s.subs[i+1:]...)
+				break
+			}
+		}
+		close(sub.ch)
+	}
+	return sub.ch, cancel, nil
+}
+
+// notify delivers put notifications to intersecting subscriptions.
+func (s *Space) notify(name string, version int, lb, ub []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, sub := range s.subs {
+		if sub.name != name || sub.removed {
+			continue
+		}
+		intersects := true
+		for i := range lb {
+			if ub[i] <= sub.lb[i] || sub.ub[i] <= lb[i] {
+				intersects = false
+				break
+			}
+		}
+		if !intersects {
+			continue
+		}
+		n := Notification{
+			Name:    name,
+			Version: version,
+			Lb:      append([]uint64(nil), lb...),
+			Ub:      append([]uint64(nil), ub...),
+		}
+		select {
+		case sub.ch <- n:
+		default: // drop on full buffer
+		}
+	}
+}
+
+// Stats reports per-server storage occupancy and query traffic, for
+// load-balance checks.
+type Stats struct {
+	// BlocksPerServer[i] is the number of stored blocks on server i.
+	BlocksPerServer []int
+	// CellsPerServer[i] is the number of stored cells on server i.
+	CellsPerServer []int64
+	// QueriesPerServer[i] counts block lookups served by server i.
+	QueriesPerServer []int64
+}
+
+// Stats snapshots the space's storage and query distribution.
+func (s *Space) Stats() Stats {
+	st := Stats{
+		BlocksPerServer:  make([]int, len(s.servers)),
+		CellsPerServer:   make([]int64, len(s.servers)),
+		QueriesPerServer: make([]int64, len(s.servers)),
+	}
+	for i, srv := range s.servers {
+		srv.mu.Lock()
+		st.BlocksPerServer[i] = len(srv.objects)
+		for _, bd := range srv.objects {
+			st.CellsPerServer[i] += int64(len(bd.data))
+		}
+		st.QueriesPerServer[i] = srv.queries
+		srv.mu.Unlock()
+	}
+	return st
+}
+
+// Servers returns the number of servers backing the space.
+func (s *Space) Servers() int { return len(s.servers) }

@@ -1,0 +1,54 @@
+package dataspaces_test
+
+import (
+	"fmt"
+
+	"predata/internal/dataspaces"
+)
+
+// Example shows the put/get abstraction of the shared space: a producer
+// inserts its decomposition, a consumer retrieves any other region, and
+// aggregation queries run server-side — all location-agnostic.
+func Example() {
+	space, err := dataspaces.New(dataspaces.Config{
+		Servers: 2,
+		Domain:  dataspaces.Domain{Dims: []uint64{8, 8}},
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Producer: two vertical bands from different writers.
+	band := func(x0 uint64, base float64) error {
+		data := make([]float64, 4*8)
+		for i := range data {
+			data[i] = base + float64(i)
+		}
+		return space.Put("field", 0, []uint64{x0, 0}, []uint64{x0 + 4, 8}, data)
+	}
+	if err := band(0, 0); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	if err := band(4, 100); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	// Consumer: a region spanning both writers' bands.
+	row, err := space.Get("field", 0, []uint64{3, 0}, []uint64{5, 2})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(row)
+	// Aggregation query over the whole domain.
+	max, err := space.Reduce("field", 0, []uint64{0, 0}, []uint64{8, 8}, dataspaces.ReduceMax)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(max)
+	// Output:
+	// [24 25 100 101]
+	// 131
+}

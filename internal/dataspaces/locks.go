@@ -1,0 +1,83 @@
+package dataspaces
+
+import (
+	"fmt"
+	"sync"
+)
+
+// objLock is a fair-ish reader/writer lock for one object name, built on a
+// condition variable so that lock holders can span multiple space
+// operations (unlike sync.RWMutex, which must not be held across calls
+// into code that may block on the same goroutine pool).
+type objLock struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	readers int
+	writer  bool
+}
+
+func (s *Space) lockFor(name string) *objLock {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.locks[name]
+	if !ok {
+		l = &objLock{}
+		l.cond = sync.NewCond(&l.mu)
+		s.locks[name] = l
+	}
+	return l
+}
+
+// AcquireRead blocks until no writer holds the named object and registers
+// a reader — the coherency protocol's shared access mode, letting multiple
+// collaborating frameworks query simultaneously.
+func (s *Space) AcquireRead(name string) {
+	l := s.lockFor(name)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.writer {
+		l.cond.Wait()
+	}
+	l.readers++
+}
+
+// ReleaseRead drops a reader registration.
+func (s *Space) ReleaseRead(name string) error {
+	l := s.lockFor(name)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.readers == 0 {
+		return fmt.Errorf("dataspaces: ReleaseRead(%q) with no readers", name)
+	}
+	l.readers--
+	if l.readers == 0 {
+		l.cond.Broadcast()
+	}
+	return nil
+}
+
+// AcquireWrite blocks until the named object has no readers and no writer,
+// then claims exclusive access — used by the framework inserting a new
+// version to keep partially-inserted regions invisible.
+func (s *Space) AcquireWrite(name string) {
+	l := s.lockFor(name)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.writer || l.readers > 0 {
+		l.cond.Wait()
+	}
+	l.writer = true
+}
+
+// ReleaseWrite drops exclusive access.
+func (s *Space) ReleaseWrite(name string) error {
+	l := s.lockFor(name)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if !l.writer {
+		return fmt.Errorf("dataspaces: ReleaseWrite(%q) without writer", name)
+	}
+	l.writer = false
+	l.cond.Broadcast()
+	return nil
+}

@@ -1,0 +1,343 @@
+// Package evpath implements an event-transport middleware in the spirit
+// of EVPath, the substrate the paper uses "for efficient data buffering
+// and manipulation in the Staging Area": events flow through a directed
+// graph of *stones* — sources submit events, filter stones drop or pass
+// them, transform stones rewrite them, split stones fan out to several
+// targets, and terminal stones deliver to handlers or buffered queues.
+//
+// Stones process events asynchronously: each stone owns a goroutine and a
+// bounded queue, so a slow consumer applies backpressure to its upstream
+// instead of unbounded buffering — the flow control a staging node needs
+// when chunks arrive faster than operators drain them.
+package evpath
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Event is the unit of data flowing through the graph. Attrs carry
+// metadata (e.g. writer rank, timestep) that filter stones can route on
+// without touching the payload.
+type Event struct {
+	Attrs map[string]int64
+	Data  any
+}
+
+// Manager owns a stone graph. Create stones, link them, submit events,
+// then Close to drain and stop.
+type Manager struct {
+	mu     sync.Mutex
+	stones []*Stone
+	closed bool
+}
+
+// NewManager returns an empty graph.
+func NewManager() *Manager {
+	return &Manager{}
+}
+
+// StoneKind discriminates stone behavior.
+type StoneKind int
+
+// Stone kinds.
+const (
+	// KindPass forwards every event to all targets.
+	KindPass StoneKind = iota
+	// KindFilter forwards events for which the predicate returns true.
+	KindFilter
+	// KindTransform rewrites events before forwarding.
+	KindTransform
+	// KindTerminal delivers events to a handler and forwards nothing.
+	KindTerminal
+)
+
+// Stone is one node of the event graph.
+type Stone struct {
+	m       *Manager
+	id      int
+	kind    StoneKind
+	pred    func(*Event) bool
+	xform   func(*Event) (*Event, error)
+	handler func(*Event) error
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*Event
+	targets []*Stone
+	closed  bool
+	active  bool // run loop is processing a dequeued event
+	done    chan struct{}
+	err     error
+	// openUpstreams counts linked upstream stones not yet closed; Close
+	// drains stones in topological order using it.
+	openUpstreams int
+
+	capacity int
+	// stats
+	in, out, dropped int64
+}
+
+// StoneStats reports a stone's traffic counters.
+type StoneStats struct {
+	In      int64 // events accepted
+	Out     int64 // events forwarded / delivered
+	Dropped int64 // events dropped by a filter
+}
+
+const defaultCapacity = 64
+
+// newStone allocates and starts a stone.
+func (m *Manager) newStone(kind StoneKind, capacity int) (*Stone, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil, fmt.Errorf("evpath: manager is closed")
+	}
+	if capacity < 1 {
+		capacity = defaultCapacity
+	}
+	s := &Stone{
+		m:        m,
+		id:       len(m.stones),
+		kind:     kind,
+		done:     make(chan struct{}),
+		capacity: capacity,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	m.stones = append(m.stones, s)
+	go s.run()
+	return s, nil
+}
+
+// NewPassStone creates a stone forwarding every event to its targets —
+// EVPath's split stone when linked to several targets.
+func (m *Manager) NewPassStone() (*Stone, error) {
+	return m.newStone(KindPass, 0)
+}
+
+// NewFilterStone creates a stone forwarding only events satisfying pred.
+func (m *Manager) NewFilterStone(pred func(*Event) bool) (*Stone, error) {
+	if pred == nil {
+		return nil, fmt.Errorf("evpath: nil filter predicate")
+	}
+	s, err := m.newStone(KindFilter, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.pred = pred
+	return s, nil
+}
+
+// NewTransformStone creates a stone rewriting events with xform. A
+// transform error stops the stone and surfaces via Err.
+func (m *Manager) NewTransformStone(xform func(*Event) (*Event, error)) (*Stone, error) {
+	if xform == nil {
+		return nil, fmt.Errorf("evpath: nil transform")
+	}
+	s, err := m.newStone(KindTransform, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.xform = xform
+	return s, nil
+}
+
+// NewTerminalStone creates a sink delivering events to handler in
+// submission order.
+func (m *Manager) NewTerminalStone(handler func(*Event) error) (*Stone, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("evpath: nil handler")
+	}
+	s, err := m.newStone(KindTerminal, 0)
+	if err != nil {
+		return nil, err
+	}
+	s.handler = handler
+	return s, nil
+}
+
+// LinkTo adds target to the stone's forwarding set. Terminal stones
+// cannot be linked onward.
+func (s *Stone) LinkTo(target *Stone) error {
+	if s.kind == KindTerminal {
+		return fmt.Errorf("evpath: terminal stone cannot have targets")
+	}
+	if target == nil {
+		return fmt.Errorf("evpath: nil link target")
+	}
+	if target.m != s.m {
+		return fmt.Errorf("evpath: cannot link stones from different managers")
+	}
+	s.mu.Lock()
+	s.targets = append(s.targets, target)
+	s.mu.Unlock()
+	target.mu.Lock()
+	target.openUpstreams++
+	target.mu.Unlock()
+	return nil
+}
+
+// Submit enqueues an event, blocking when the stone's queue is full
+// (backpressure). Submitting to a closed stone is an error.
+func (s *Stone) Submit(e *Event) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for len(s.queue) >= s.capacity && !s.closed {
+		s.cond.Wait()
+	}
+	if s.closed {
+		return fmt.Errorf("evpath: submit to closed stone %d", s.id)
+	}
+	s.queue = append(s.queue, e)
+	s.in++
+	s.cond.Broadcast()
+	return nil
+}
+
+// run is the stone's event loop.
+func (s *Stone) run() {
+	defer close(s.done)
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.closed {
+			s.cond.Wait()
+		}
+		if len(s.queue) == 0 && s.closed {
+			s.mu.Unlock()
+			return
+		}
+		e := s.queue[0]
+		s.queue = s.queue[1:]
+		s.active = true
+		s.cond.Broadcast()
+		targets := s.targets
+		s.mu.Unlock()
+
+		switch s.kind {
+		case KindFilter:
+			if !s.pred(e) {
+				s.settle(&s.dropped)
+				continue
+			}
+		case KindTransform:
+			out, err := s.xform(e)
+			if err != nil {
+				s.fail(fmt.Errorf("evpath: transform stone %d: %w", s.id, err))
+				return
+			}
+			e = out
+		case KindTerminal:
+			if err := s.handler(e); err != nil {
+				s.fail(fmt.Errorf("evpath: terminal stone %d: %w", s.id, err))
+				return
+			}
+			s.settle(&s.out)
+			continue
+		}
+		forwarded := true
+		for _, t := range targets {
+			if err := t.Submit(e); err != nil {
+				s.fail(err)
+				forwarded = false
+				break
+			}
+		}
+		if !forwarded {
+			return
+		}
+		s.settle(&s.out)
+	}
+}
+
+// settle increments a counter and marks the run loop idle, waking any
+// Close waiting for the stone to finish in-flight work.
+func (s *Stone) settle(counter *int64) {
+	s.mu.Lock()
+	*counter++
+	s.active = false
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// fail records the stone's terminal error and stops accepting events.
+func (s *Stone) fail(err error) {
+	s.mu.Lock()
+	if s.err == nil {
+		s.err = err
+	}
+	s.closed = true
+	s.mu.Unlock()
+	s.cond.Broadcast()
+}
+
+// Err returns the stone's terminal error, if any.
+func (s *Stone) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Stats snapshots the stone's counters.
+func (s *Stone) Stats() StoneStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return StoneStats{In: s.in, Out: s.out, Dropped: s.dropped}
+}
+
+// Close drains and stops every stone in topological order — sources
+// before sinks — so no stone is closed while an upstream may still
+// forward events to it. It returns the first stone error encountered.
+// Cyclic graphs cannot be drained and are reported as an error.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return fmt.Errorf("evpath: double close")
+	}
+	m.closed = true
+	remaining := append([]*Stone(nil), m.stones...)
+	m.mu.Unlock()
+
+	var first error
+	for len(remaining) > 0 {
+		progress := false
+		var next []*Stone
+		for _, s := range remaining {
+			s.mu.Lock()
+			ready := s.openUpstreams == 0 || s.closed
+			s.mu.Unlock()
+			if !ready {
+				next = append(next, s)
+				continue
+			}
+			progress = true
+			// Wait for the queue to drain and in-flight work to settle,
+			// then close the stone and release its targets.
+			s.mu.Lock()
+			for (len(s.queue) > 0 || s.active) && !s.closed {
+				s.cond.Wait()
+			}
+			s.closed = true
+			targets := append([]*Stone(nil), s.targets...)
+			s.mu.Unlock()
+			s.cond.Broadcast()
+			<-s.done
+			for _, t := range targets {
+				t.mu.Lock()
+				t.openUpstreams--
+				t.mu.Unlock()
+			}
+			if first == nil {
+				s.mu.Lock()
+				first = s.err
+				s.mu.Unlock()
+			}
+		}
+		if !progress {
+			return fmt.Errorf("evpath: cannot drain cyclic stone graph (%d stones stuck)", len(remaining))
+		}
+		remaining = next
+	}
+	return first
+}

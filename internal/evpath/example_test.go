@@ -1,0 +1,40 @@
+package evpath_test
+
+import (
+	"fmt"
+	"sync"
+
+	"predata/internal/evpath"
+)
+
+// Example builds the stone chain the staging server uses for its chunk
+// stream: a transform (decode) stage, a filter stage, and a terminal
+// handler, with backpressure end to end.
+func Example() {
+	m := evpath.NewManager()
+	var mu sync.Mutex
+	var delivered []int64
+	sink, _ := m.NewTerminalStone(func(e *evpath.Event) error {
+		mu.Lock()
+		delivered = append(delivered, e.Data.(int64))
+		mu.Unlock()
+		return nil
+	})
+	evens, _ := m.NewFilterStone(func(e *evpath.Event) bool {
+		return e.Data.(int64)%2 == 0
+	})
+	double, _ := m.NewTransformStone(func(e *evpath.Event) (*evpath.Event, error) {
+		return &evpath.Event{Data: e.Data.(int64) * 2}, nil
+	})
+	double.LinkTo(evens)
+	evens.LinkTo(sink)
+	for i := int64(1); i <= 5; i++ {
+		double.Submit(&evpath.Event{Data: i})
+	}
+	if err := m.Close(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(delivered)
+	// Output: [2 4 6 8 10]
+}

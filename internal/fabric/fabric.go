@@ -1,0 +1,329 @@
+// Package fabric models the interconnect between compute nodes and the
+// staging area: server-directed, pull-mode RDMA transfers in the style of
+// DataStager/Portals on the Cray SeaStar.
+//
+// Two planes are provided. The control plane is a small-message mailbox
+// per endpoint, used for data-fetch requests (with piggybacked partial
+// results). The data plane is pull-mode memory movement: a compute
+// endpoint *exposes* a packed buffer, and a staging endpoint later *pulls*
+// it. Data really moves (the staging engine operates on the bytes), and
+// each pull also returns a modeled duration from a bandwidth/latency/
+// contention description of the network.
+//
+// The fabric also implements the paper's key scheduling idea: compute
+// endpoints declare when they are inside communication-intensive phases
+// (collectives), and a *scheduled* fabric defers pulls that would overlap
+// such a phase, while an *unscheduled* fabric proceeds and charges the
+// endpoint an interference penalty — the effect the paper controls "to be
+// less than 6% in the worst case" by proper scheduling.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Config describes the modeled network.
+type Config struct {
+	// Endpoints is the number of endpoints (nodes) on the fabric.
+	Endpoints int
+	// LinkBandwidth is the injection bandwidth of one endpoint's NIC in
+	// bytes/second.
+	LinkBandwidth float64
+	// Latency is the per-transfer setup latency.
+	Latency time.Duration
+	// Scheduled selects deferred (interference-avoiding) servicing of
+	// pulls that would overlap a busy phase on the source endpoint.
+	Scheduled bool
+	// InterferencePenalty is the fraction of an overlapping transfer's
+	// duration charged to the source endpoint's application as slowdown
+	// when the fabric is unscheduled.
+	InterferencePenalty float64
+	// VarSigma adds log-normal noise to transfer durations.
+	VarSigma float64
+	// Seed seeds the noise generator.
+	Seed int64
+	// PaceScale, when positive, makes Pull really take (modeled duration
+	// x PaceScale) of wall time while holding its contention slot. Zero
+	// disables pacing (transfers complete at memory speed and only the
+	// returned duration reflects the model).
+	PaceScale float64
+}
+
+// DefaultConfig returns a network description loosely calibrated to a
+// SeaStar-class torus NIC (~2 GB/s injection, ~5 us latency).
+func DefaultConfig(endpoints int) Config {
+	return Config{
+		Endpoints:           endpoints,
+		LinkBandwidth:       2e9,
+		Latency:             5 * time.Microsecond,
+		Scheduled:           true,
+		InterferencePenalty: 0.5,
+		Seed:                1,
+	}
+}
+
+// Handle names an exposed memory region on some endpoint.
+type Handle struct {
+	Endpoint int
+	ID       uint64
+	Size     int
+}
+
+// Fabric is the shared interconnect. All methods are safe for concurrent
+// use by the endpoint goroutines.
+type Fabric struct {
+	cfg Config
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	eps    []*endpointState
+	rng    *rand.Rand
+	active int // in-flight pulls across the fabric
+}
+
+type endpointState struct {
+	mailbox      []ctlMessage
+	mailCond     *sync.Cond
+	regions      map[uint64][]byte
+	nextRegion   uint64
+	busyDepth    int           // nested busy-phase depth
+	interference time.Duration // accumulated slowdown charged to this endpoint
+	pulledBytes  int64
+	closed       bool
+}
+
+type ctlMessage struct {
+	src  int
+	data any
+}
+
+// New builds a fabric with the given configuration.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Endpoints < 1 {
+		return nil, fmt.Errorf("fabric: Endpoints %d must be >= 1", cfg.Endpoints)
+	}
+	if cfg.LinkBandwidth <= 0 {
+		return nil, fmt.Errorf("fabric: LinkBandwidth %g must be positive", cfg.LinkBandwidth)
+	}
+	f := &Fabric{
+		cfg: cfg,
+		eps: make([]*endpointState, cfg.Endpoints),
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	for i := range f.eps {
+		f.eps[i] = &endpointState{regions: make(map[uint64][]byte)}
+		f.eps[i].mailCond = sync.NewCond(&f.mu)
+	}
+	return f, nil
+}
+
+// Endpoint returns the endpoint handle for node id.
+func (f *Fabric) Endpoint(id int) (*Endpoint, error) {
+	if id < 0 || id >= len(f.eps) {
+		return nil, fmt.Errorf("fabric: endpoint %d outside [0,%d)", id, len(f.eps))
+	}
+	return &Endpoint{f: f, id: id}, nil
+}
+
+// Shutdown unblocks all endpoints waiting for control messages or
+// deferred pulls; subsequent blocking calls fail.
+func (f *Fabric) Shutdown() {
+	f.mu.Lock()
+	for _, ep := range f.eps {
+		ep.closed = true
+	}
+	f.mu.Unlock()
+	f.cond.Broadcast()
+	for _, ep := range f.eps {
+		ep.mailCond.Broadcast()
+	}
+}
+
+// Endpoint is one node's attachment to the fabric.
+type Endpoint struct {
+	f  *Fabric
+	id int
+}
+
+// ID returns the endpoint's fabric id.
+func (e *Endpoint) ID() int { return e.id }
+
+// SendCtl sends a small control message (e.g. a data-fetch request) to
+// endpoint dst. Control messages are modeled as latency-only.
+func (e *Endpoint) SendCtl(dst int, data any) error {
+	if dst < 0 || dst >= len(e.f.eps) {
+		return fmt.Errorf("fabric: SendCtl to endpoint %d outside fabric", dst)
+	}
+	f := e.f
+	f.mu.Lock()
+	target := f.eps[dst]
+	target.mailbox = append(target.mailbox, ctlMessage{src: e.id, data: data})
+	f.mu.Unlock()
+	target.mailCond.Broadcast()
+	return nil
+}
+
+// RecvCtl blocks until a control message arrives and returns its source
+// and payload.
+func (e *Endpoint) RecvCtl() (src int, data any, err error) {
+	f := e.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.eps[e.id]
+	for len(st.mailbox) == 0 {
+		if st.closed {
+			return 0, nil, fmt.Errorf("fabric: endpoint %d shut down", e.id)
+		}
+		st.mailCond.Wait()
+	}
+	m := st.mailbox[0]
+	st.mailbox = st.mailbox[1:]
+	return m.src, m.data, nil
+}
+
+// Expose registers buf as a pullable memory region and returns its handle.
+// The caller must not mutate buf until the region is released (pulled with
+// release=true or explicitly Released).
+func (e *Endpoint) Expose(buf []byte) Handle {
+	f := e.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.eps[e.id]
+	st.nextRegion++
+	id := st.nextRegion
+	st.regions[id] = buf
+	return Handle{Endpoint: e.id, ID: id, Size: len(buf)}
+}
+
+// Release drops an exposed region without pulling it.
+func (e *Endpoint) Release(h Handle) error {
+	f := e.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h.Endpoint != e.id {
+		return fmt.Errorf("fabric: Release of handle owned by endpoint %d from %d", h.Endpoint, e.id)
+	}
+	st := f.eps[e.id]
+	if _, ok := st.regions[h.ID]; !ok {
+		return fmt.Errorf("fabric: Release of unknown region %d", h.ID)
+	}
+	delete(st.regions, h.ID)
+	return nil
+}
+
+// ExposedBytes reports the total size of regions currently exposed on this
+// endpoint — the compute-node buffering cost of asynchronous movement.
+func (e *Endpoint) ExposedBytes() int64 {
+	f := e.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var n int64
+	for _, b := range f.eps[e.id].regions {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// EnterBusyPhase marks the start of a communication-intensive application
+// phase on this endpoint (e.g. a simulation collective).
+func (e *Endpoint) EnterBusyPhase() {
+	f := e.f
+	f.mu.Lock()
+	f.eps[e.id].busyDepth++
+	f.mu.Unlock()
+}
+
+// LeaveBusyPhase marks the end of the phase and wakes deferred pulls.
+func (e *Endpoint) LeaveBusyPhase() {
+	f := e.f
+	f.mu.Lock()
+	st := f.eps[e.id]
+	if st.busyDepth == 0 {
+		f.mu.Unlock()
+		panic("fabric: LeaveBusyPhase without EnterBusyPhase")
+	}
+	st.busyDepth--
+	f.mu.Unlock()
+	f.cond.Broadcast()
+}
+
+// Interference returns the accumulated modeled slowdown charged to this
+// endpoint's application by transfers that overlapped its busy phases.
+func (e *Endpoint) Interference() time.Duration {
+	f := e.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eps[e.id].interference
+}
+
+// Pull transfers the region named by h into a fresh buffer, releasing the
+// region on the source endpoint. It returns the data and the modeled
+// transfer duration.
+//
+// On a scheduled fabric, a pull whose source endpoint is inside a busy
+// phase blocks until the phase ends. On an unscheduled fabric it proceeds
+// immediately and charges the source the configured interference penalty.
+func (e *Endpoint) Pull(h Handle) ([]byte, time.Duration, error) {
+	f := e.f
+	if h.Endpoint < 0 || h.Endpoint >= len(f.eps) {
+		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d outside fabric", h.Endpoint)
+	}
+	f.mu.Lock()
+	src := f.eps[h.Endpoint]
+	if f.cfg.Scheduled {
+		for src.busyDepth > 0 && !src.closed {
+			f.cond.Wait()
+		}
+	}
+	if src.closed {
+		f.mu.Unlock()
+		return nil, 0, fmt.Errorf("fabric: endpoint %d shut down", h.Endpoint)
+	}
+	buf, ok := src.regions[h.ID]
+	if !ok {
+		f.mu.Unlock()
+		return nil, 0, fmt.Errorf("fabric: Pull of unknown region %d on endpoint %d", h.ID, h.Endpoint)
+	}
+	delete(src.regions, h.ID)
+	busy := src.busyDepth > 0
+	f.active++
+	sharers := float64(f.active)
+	noise := 1.0
+	if f.cfg.VarSigma > 0 {
+		noise = math.Exp(f.rng.NormFloat64() * f.cfg.VarSigma)
+	}
+	f.mu.Unlock()
+
+	// Both NICs are crossed once; contention is modeled fabric-wide since
+	// staging pulls funnel into few endpoints.
+	bw := f.cfg.LinkBandwidth / sharers
+	d := f.cfg.Latency + time.Duration(float64(len(buf))/bw*noise*float64(time.Second))
+
+	out := make([]byte, len(buf))
+	copy(out, buf)
+	if f.cfg.PaceScale > 0 {
+		time.Sleep(time.Duration(float64(d) * f.cfg.PaceScale))
+	}
+
+	f.mu.Lock()
+	f.active--
+	src.pulledBytes += int64(len(buf))
+	if busy && !f.cfg.Scheduled {
+		src.interference += time.Duration(float64(d) * f.cfg.InterferencePenalty)
+	}
+	f.mu.Unlock()
+	return out, d, nil
+}
+
+// PulledBytes reports the total bytes pulled *from* this endpoint.
+func (e *Endpoint) PulledBytes() int64 {
+	f := e.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eps[e.id].pulledBytes
+}

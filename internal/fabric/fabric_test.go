@@ -1,0 +1,307 @@
+package fabric
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func quiet(n int) Config {
+	cfg := DefaultConfig(n)
+	cfg.VarSigma = 0
+	return cfg
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Endpoints: 0, LinkBandwidth: 1}); err == nil {
+		t.Error("zero endpoints accepted")
+	}
+	if _, err := New(Config{Endpoints: 1, LinkBandwidth: 0}); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestEndpointRange(t *testing.T) {
+	f, _ := New(quiet(2))
+	if _, err := f.Endpoint(-1); err == nil {
+		t.Error("negative endpoint accepted")
+	}
+	if _, err := f.Endpoint(2); err == nil {
+		t.Error("out-of-range endpoint accepted")
+	}
+	ep, err := f.Endpoint(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.ID() != 1 {
+		t.Errorf("id %d", ep.ID())
+	}
+}
+
+func TestCtlMessages(t *testing.T) {
+	f, _ := New(quiet(2))
+	a, _ := f.Endpoint(0)
+	b, _ := f.Endpoint(1)
+	done := make(chan error, 1)
+	go func() {
+		src, data, err := b.RecvCtl()
+		if err != nil {
+			done <- err
+			return
+		}
+		if src != 0 || data.(string) != "fetch request" {
+			done <- fmt.Errorf("got src=%d data=%v", src, data)
+			return
+		}
+		done <- nil
+	}()
+	if err := a.SendCtl(1, "fetch request"); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if err := a.SendCtl(9, nil); err == nil {
+		t.Error("SendCtl to invalid endpoint accepted")
+	}
+}
+
+func TestExposePull(t *testing.T) {
+	f, _ := New(quiet(2))
+	compute, _ := f.Endpoint(0)
+	staging, _ := f.Endpoint(1)
+	payload := []byte("packed partial data chunk")
+	h := compute.Expose(payload)
+	if h.Size != len(payload) {
+		t.Errorf("handle size %d", h.Size)
+	}
+	if compute.ExposedBytes() != int64(len(payload)) {
+		t.Errorf("exposed bytes %d", compute.ExposedBytes())
+	}
+	got, d, err := staging.Pull(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Errorf("pulled %q", got)
+	}
+	if d <= 0 {
+		t.Errorf("duration %v", d)
+	}
+	if compute.ExposedBytes() != 0 {
+		t.Errorf("region not released: %d bytes", compute.ExposedBytes())
+	}
+	if compute.PulledBytes() != int64(len(payload)) {
+		t.Errorf("pulled bytes %d", compute.PulledBytes())
+	}
+	// Second pull of the same handle fails.
+	if _, _, err := staging.Pull(h); err == nil {
+		t.Error("double pull accepted")
+	}
+}
+
+func TestRelease(t *testing.T) {
+	f, _ := New(quiet(2))
+	a, _ := f.Endpoint(0)
+	b, _ := f.Endpoint(1)
+	h := a.Expose(make([]byte, 10))
+	if err := b.Release(h); err == nil {
+		t.Error("release from non-owner accepted")
+	}
+	if err := a.Release(h); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(h); err == nil {
+		t.Error("double release accepted")
+	}
+	if _, _, err := b.Pull(h); err == nil {
+		t.Error("pull of released region accepted")
+	}
+	if _, _, err := b.Pull(Handle{Endpoint: 42}); err == nil {
+		t.Error("pull from bogus endpoint accepted")
+	}
+}
+
+func TestPullDurationScalesWithSize(t *testing.T) {
+	f, _ := New(quiet(2))
+	a, _ := f.Endpoint(0)
+	b, _ := f.Endpoint(1)
+	hSmall := a.Expose(make([]byte, 1<<10))
+	hLarge := a.Expose(make([]byte, 64<<20))
+	_, dSmall, err := b.Pull(hSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, dLarge, err := b.Pull(hLarge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dLarge <= dSmall {
+		t.Errorf("large pull %v not slower than small %v", dLarge, dSmall)
+	}
+	// 64 MB at 2 GB/s is 32 ms.
+	want := 32 * time.Millisecond
+	if dLarge < want/2 || dLarge > want*2 {
+		t.Errorf("64MB pull modeled %v, want ~%v", dLarge, want)
+	}
+}
+
+func TestScheduledPullDefersDuringBusyPhase(t *testing.T) {
+	f, _ := New(quiet(2))
+	compute, _ := f.Endpoint(0)
+	staging, _ := f.Endpoint(1)
+	h := compute.Expose(make([]byte, 1<<20))
+	compute.EnterBusyPhase()
+	pulled := make(chan struct{})
+	go func() {
+		if _, _, err := staging.Pull(h); err != nil {
+			t.Error(err)
+		}
+		close(pulled)
+	}()
+	select {
+	case <-pulled:
+		t.Fatal("pull completed during busy phase on scheduled fabric")
+	case <-time.After(20 * time.Millisecond):
+	}
+	compute.LeaveBusyPhase()
+	select {
+	case <-pulled:
+	case <-time.After(time.Second):
+		t.Fatal("pull did not resume after busy phase")
+	}
+	if compute.Interference() != 0 {
+		t.Errorf("scheduled fabric charged interference %v", compute.Interference())
+	}
+}
+
+func TestUnscheduledPullChargesInterference(t *testing.T) {
+	cfg := quiet(2)
+	cfg.Scheduled = false
+	cfg.InterferencePenalty = 0.5
+	f, _ := New(cfg)
+	compute, _ := f.Endpoint(0)
+	staging, _ := f.Endpoint(1)
+	h := compute.Expose(make([]byte, 8<<20))
+	compute.EnterBusyPhase()
+	_, d, err := staging.Pull(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	compute.LeaveBusyPhase()
+	got := compute.Interference()
+	want := time.Duration(float64(d) * 0.5)
+	if got < want*9/10 || got > want*11/10 {
+		t.Errorf("interference %v want ~%v", got, want)
+	}
+}
+
+func TestUnscheduledPullOutsideBusyPhaseNoInterference(t *testing.T) {
+	cfg := quiet(2)
+	cfg.Scheduled = false
+	f, _ := New(cfg)
+	compute, _ := f.Endpoint(0)
+	staging, _ := f.Endpoint(1)
+	h := compute.Expose(make([]byte, 1<<20))
+	if _, _, err := staging.Pull(h); err != nil {
+		t.Fatal(err)
+	}
+	if compute.Interference() != 0 {
+		t.Errorf("idle pull charged interference %v", compute.Interference())
+	}
+}
+
+func TestNestedBusyPhases(t *testing.T) {
+	f, _ := New(quiet(1))
+	ep, _ := f.Endpoint(0)
+	ep.EnterBusyPhase()
+	ep.EnterBusyPhase()
+	ep.LeaveBusyPhase()
+	ep.LeaveBusyPhase()
+	defer func() {
+		if recover() == nil {
+			t.Error("unbalanced LeaveBusyPhase did not panic")
+		}
+	}()
+	ep.LeaveBusyPhase()
+}
+
+func TestShutdownUnblocksReceivers(t *testing.T) {
+	f, _ := New(quiet(2))
+	ep, _ := f.Endpoint(0)
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := ep.RecvCtl()
+		errc <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	f.Shutdown()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Error("RecvCtl returned nil after shutdown")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("RecvCtl did not unblock on shutdown")
+	}
+}
+
+func TestConcurrentPullsShareBandwidth(t *testing.T) {
+	cfg := quiet(9)
+	// Pace transfers so the 8 pulls genuinely overlap in wall time and
+	// the contention model sees concurrent sharers.
+	cfg.PaceScale = 5
+	f, _ := New(cfg)
+	// One compute endpoint per puller; all pulls overlap.
+	const n = 8
+	var handles [n]Handle
+	for i := 0; i < n; i++ {
+		ep, _ := f.Endpoint(i)
+		handles[i] = ep.Expose(make([]byte, 4<<20))
+	}
+	staging, _ := f.Endpoint(8)
+	var wg sync.WaitGroup
+	durs := make([]time.Duration, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, d, err := staging.Pull(handles[i])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			durs[i] = d
+		}(i)
+	}
+	wg.Wait()
+	// With up to 8 concurrent pulls, at least some must be slower than a
+	// solo 4 MB transfer (2 ms at 2 GB/s).
+	solo := 2 * time.Millisecond
+	slower := 0
+	for _, d := range durs {
+		if d > solo*3/2 {
+			slower++
+		}
+	}
+	if slower == 0 {
+		t.Errorf("no contention observed across %d overlapping pulls: %v", n, durs)
+	}
+}
+
+func BenchmarkPull1MB(b *testing.B) {
+	f, _ := New(quiet(2))
+	a, _ := f.Endpoint(0)
+	c, _ := f.Endpoint(1)
+	buf := make([]byte, 1<<20)
+	b.SetBytes(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h := a.Expose(buf)
+		if _, _, err := c.Pull(h); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

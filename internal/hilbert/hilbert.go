@@ -1,0 +1,189 @@
+// Package hilbert implements Hilbert space-filling curve encodings in two
+// and three dimensions. DataSpaces uses the curve to linearize
+// multi-dimensional application domains so that geometrically close regions
+// map to nearby index ranges, which in turn makes region queries touch few
+// servers (the paper's "data hashing for fast access").
+package hilbert
+
+import "fmt"
+
+// Curve2D maps points in a 2^order x 2^order grid to positions on a
+// 2D Hilbert curve and back.
+type Curve2D struct {
+	order uint // number of bits per coordinate, 1..31
+}
+
+// NewCurve2D returns a 2D curve of the given order. Order must be in
+// [1, 31] so that distances fit in a uint64.
+func NewCurve2D(order uint) (*Curve2D, error) {
+	if order < 1 || order > 31 {
+		return nil, fmt.Errorf("hilbert: order %d out of range [1,31]", order)
+	}
+	return &Curve2D{order: order}, nil
+}
+
+// Side returns the grid side length 2^order.
+func (c *Curve2D) Side() uint64 { return 1 << c.order }
+
+// Encode maps grid point (x, y) to its distance along the curve.
+// Coordinates outside the grid return an error.
+func (c *Curve2D) Encode(x, y uint64) (uint64, error) {
+	n := c.Side()
+	if x >= n || y >= n {
+		return 0, fmt.Errorf("hilbert: point (%d,%d) outside %dx%d grid", x, y, n, n)
+	}
+	var d uint64
+	for s := n / 2; s > 0; s /= 2 {
+		var rx, ry uint64
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += s * s * ((3 * rx) ^ ry)
+		x, y = rot(s, x, y, rx, ry)
+	}
+	return d, nil
+}
+
+// Decode maps a curve distance back to its grid point (x, y).
+func (c *Curve2D) Decode(d uint64) (x, y uint64, err error) {
+	n := c.Side()
+	if d >= n*n {
+		return 0, 0, fmt.Errorf("hilbert: distance %d outside curve of length %d", d, n*n)
+	}
+	t := d
+	for s := uint64(1); s < n; s *= 2 {
+		rx := 1 & (t / 2)
+		ry := 1 & (t ^ rx)
+		x, y = rot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y, nil
+}
+
+// rot rotates/flips a quadrant appropriately for the Hilbert construction.
+func rot(s, x, y, rx, ry uint64) (uint64, uint64) {
+	if ry == 0 {
+		if rx == 1 {
+			x = s - 1 - x
+			y = s - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}
+
+// Curve3D maps points in a 2^order cube to positions on a 3D Hilbert curve
+// using the Butz/compact algorithm on Gray-coded transpositions.
+type Curve3D struct {
+	order uint // bits per coordinate, 1..20
+}
+
+// NewCurve3D returns a 3D curve of the given order. Order must be in
+// [1, 20] so that distances fit in a uint64.
+func NewCurve3D(order uint) (*Curve3D, error) {
+	if order < 1 || order > 20 {
+		return nil, fmt.Errorf("hilbert: order %d out of range [1,20]", order)
+	}
+	return &Curve3D{order: order}, nil
+}
+
+// Side returns the cube side length 2^order.
+func (c *Curve3D) Side() uint64 { return 1 << c.order }
+
+// Encode maps cube point (x, y, z) to its distance along the curve.
+func (c *Curve3D) Encode(x, y, z uint64) (uint64, error) {
+	n := c.Side()
+	if x >= n || y >= n || z >= n {
+		return 0, fmt.Errorf("hilbert: point (%d,%d,%d) outside cube of side %d", x, y, z, n)
+	}
+	coords := [3]uint64{x, y, z}
+	axesToTranspose(&coords, c.order)
+	// Interleave the transposed bits, x high.
+	var d uint64
+	for bit := int(c.order) - 1; bit >= 0; bit-- {
+		for axis := 0; axis < 3; axis++ {
+			d = (d << 1) | ((coords[axis] >> uint(bit)) & 1)
+		}
+	}
+	return d, nil
+}
+
+// Decode maps a curve distance back to its cube point.
+func (c *Curve3D) Decode(d uint64) (x, y, z uint64, err error) {
+	n := c.Side()
+	if c.order*3 < 64 && d >= n*n*n {
+		return 0, 0, 0, fmt.Errorf("hilbert: distance %d outside curve of length %d", d, n*n*n)
+	}
+	var coords [3]uint64
+	for bit := int(c.order) - 1; bit >= 0; bit-- {
+		for axis := 0; axis < 3; axis++ {
+			shift := uint(bit*3 + (2 - axis))
+			coords[axis] = (coords[axis] << 1) | ((d >> shift) & 1)
+		}
+	}
+	transposeToAxes(&coords, c.order)
+	return coords[0], coords[1], coords[2], nil
+}
+
+// axesToTranspose converts coordinates in place into the "transposed"
+// Hilbert form (Skilling's algorithm, 2004).
+func axesToTranspose(x *[3]uint64, order uint) {
+	const dims = 3
+	m := uint64(1) << (order - 1)
+	// Inverse undo.
+	for q := m; q > 1; q >>= 1 {
+		p := q - 1
+		for i := 0; i < dims; i++ {
+			if x[i]&q != 0 {
+				x[0] ^= p // invert
+			} else { // exchange
+				t := (x[0] ^ x[i]) & p
+				x[0] ^= t
+				x[i] ^= t
+			}
+		}
+	}
+	// Gray encode.
+	for i := 1; i < dims; i++ {
+		x[i] ^= x[i-1]
+	}
+	var t uint64
+	for q := uint64(2); q != m<<1; q <<= 1 {
+		if x[dims-1]&q != 0 {
+			t ^= q - 1
+		}
+	}
+	for i := 0; i < dims; i++ {
+		x[i] ^= t
+	}
+}
+
+// transposeToAxes is the inverse of axesToTranspose.
+func transposeToAxes(x *[3]uint64, order uint) {
+	const dims = 3
+	m := uint64(2) << (order - 1)
+	// Gray decode by H ^ (H/2).
+	t := x[dims-1] >> 1
+	for i := dims - 1; i > 0; i-- {
+		x[i] ^= x[i-1]
+	}
+	x[0] ^= t
+	// Undo excess work.
+	for q := uint64(2); q != m; q <<= 1 {
+		p := q - 1
+		for i := dims - 1; i >= 0; i-- {
+			if x[i]&q != 0 {
+				x[0] ^= p
+			} else {
+				tt := (x[0] ^ x[i]) & p
+				x[0] ^= tt
+				x[i] ^= tt
+			}
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package hilbert
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCurve2DValidation(t *testing.T) {
+	if _, err := NewCurve2D(0); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := NewCurve2D(32); err == nil {
+		t.Error("order 32 accepted")
+	}
+	c, err := NewCurve2D(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Side() != 16 {
+		t.Errorf("side %d", c.Side())
+	}
+}
+
+func TestCurve2DKnownOrder1(t *testing.T) {
+	// The order-1 Hilbert curve visits (0,0) (0,1) (1,1) (1,0).
+	c, _ := NewCurve2D(1)
+	want := [][2]uint64{{0, 0}, {0, 1}, {1, 1}, {1, 0}}
+	for d, p := range want {
+		got, err := c.Encode(p[0], p[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != uint64(d) {
+			t.Errorf("Encode(%v) = %d want %d", p, got, d)
+		}
+	}
+}
+
+func TestCurve2DRoundTrip(t *testing.T) {
+	c, _ := NewCurve2D(5)
+	n := c.Side()
+	seen := make(map[uint64]bool)
+	for x := uint64(0); x < n; x++ {
+		for y := uint64(0); y < n; y++ {
+			d, err := c.Encode(x, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if seen[d] {
+				t.Fatalf("duplicate distance %d", d)
+			}
+			seen[d] = true
+			gx, gy, err := c.Decode(d)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gx != x || gy != y {
+				t.Fatalf("round trip (%d,%d) -> %d -> (%d,%d)", x, y, d, gx, gy)
+			}
+		}
+	}
+	if uint64(len(seen)) != n*n {
+		t.Errorf("curve not a bijection: %d distances", len(seen))
+	}
+}
+
+// TestCurve2DAdjacency verifies the defining Hilbert property: consecutive
+// curve positions are grid neighbors (Manhattan distance 1).
+func TestCurve2DAdjacency(t *testing.T) {
+	c, _ := NewCurve2D(4)
+	n := c.Side()
+	px, py, err := c.Decode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := uint64(1); d < n*n; d++ {
+		x, y, err := c.Decode(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist := absDiff(x, px) + absDiff(y, py)
+		if dist != 1 {
+			t.Fatalf("positions %d and %d are %d apart", d-1, d, dist)
+		}
+		px, py = x, y
+	}
+}
+
+func TestCurve2DBounds(t *testing.T) {
+	c, _ := NewCurve2D(3)
+	if _, err := c.Encode(8, 0); err == nil {
+		t.Error("out-of-grid point accepted")
+	}
+	if _, _, err := c.Decode(64); err == nil {
+		t.Error("out-of-curve distance accepted")
+	}
+}
+
+func TestCurve3DRoundTrip(t *testing.T) {
+	c, err := NewCurve3D(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.Side()
+	seen := make(map[uint64]bool)
+	for x := uint64(0); x < n; x++ {
+		for y := uint64(0); y < n; y++ {
+			for z := uint64(0); z < n; z++ {
+				d, err := c.Encode(x, y, z)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if d >= n*n*n {
+					t.Fatalf("distance %d out of range", d)
+				}
+				if seen[d] {
+					t.Fatalf("duplicate distance %d", d)
+				}
+				seen[d] = true
+				gx, gy, gz, err := c.Decode(d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if gx != x || gy != y || gz != z {
+					t.Fatalf("round trip (%d,%d,%d) -> %d -> (%d,%d,%d)", x, y, z, d, gx, gy, gz)
+				}
+			}
+		}
+	}
+}
+
+func TestCurve3DAdjacency(t *testing.T) {
+	c, _ := NewCurve3D(3)
+	n := c.Side()
+	px, py, pz, err := c.Decode(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for d := uint64(1); d < n*n*n; d++ {
+		x, y, z, err := c.Decode(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dist := absDiff(x, px) + absDiff(y, py) + absDiff(z, pz)
+		if dist != 1 {
+			t.Fatalf("positions %d and %d are %d apart", d-1, d, dist)
+		}
+		px, py, pz = x, y, z
+	}
+}
+
+func TestCurve3DValidation(t *testing.T) {
+	if _, err := NewCurve3D(0); err == nil {
+		t.Error("order 0 accepted")
+	}
+	if _, err := NewCurve3D(21); err == nil {
+		t.Error("order 21 accepted")
+	}
+	c, _ := NewCurve3D(2)
+	if _, err := c.Encode(4, 0, 0); err == nil {
+		t.Error("out-of-cube point accepted")
+	}
+	if _, _, _, err := c.Decode(64); err == nil {
+		t.Error("out-of-curve distance accepted")
+	}
+}
+
+func TestCurve2DRoundTripProperty(t *testing.T) {
+	c, _ := NewCurve2D(16)
+	f := func(x, y uint16) bool {
+		d, err := c.Encode(uint64(x), uint64(y))
+		if err != nil {
+			return false
+		}
+		gx, gy, err := c.Decode(d)
+		return err == nil && gx == uint64(x) && gy == uint64(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,125 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTimerAccumulates(t *testing.T) {
+	var tm Timer
+	tm.Start()
+	time.Sleep(2 * time.Millisecond)
+	tm.Stop()
+	if tm.Total() < 2*time.Millisecond {
+		t.Errorf("total %v too small", tm.Total())
+	}
+	if tm.Count() != 1 {
+		t.Errorf("count %d", tm.Count())
+	}
+	tm.AddDuration(10 * time.Millisecond)
+	if tm.Total() < 12*time.Millisecond || tm.Count() != 2 {
+		t.Errorf("after AddDuration: total=%v count=%d", tm.Total(), tm.Count())
+	}
+	var other Timer
+	other.AddDuration(5 * time.Millisecond)
+	tm.Add(&other)
+	if tm.Count() != 3 {
+		t.Errorf("after Add: count=%d", tm.Count())
+	}
+	tm.Reset()
+	if tm.Total() != 0 || tm.Count() != 0 {
+		t.Error("reset did not clear")
+	}
+}
+
+func TestTimerMisusePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("double Start did not panic")
+		}
+	}()
+	var tm Timer
+	tm.Start()
+	tm.Start()
+}
+
+func TestTimerStopWithoutStartPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Stop without Start did not panic")
+		}
+	}()
+	var tm Timer
+	tm.Stop()
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 {
+		t.Errorf("empty summary %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 || s.P50 != 3 {
+		t.Errorf("summary %+v", s)
+	}
+	wantSD := math.Sqrt(2)
+	if math.Abs(s.Stddev-wantSD) > 1e-12 {
+		t.Errorf("stddev %v want %v", s.Stddev, wantSD)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Errorf("input mutated: %v", in)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(xs []float64) bool {
+		for _, x := range xs {
+			// Summaries are of durations/byte counts; skip non-finite
+			// inputs and magnitudes where float64 differences overflow.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e150 {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.N == 0
+		}
+		return s.Min <= s.P50 && s.P50 <= s.Max &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.P50 <= s.P95+1e-9 && s.P95 <= s.P99+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	b := NewBreakdown()
+	b.Add("io", time.Second)
+	b.Add("compute", 2*time.Second)
+	b.Add("io", time.Second)
+	if b.Get("io") != 2*time.Second {
+		t.Errorf("io bucket %v", b.Get("io"))
+	}
+	if b.Total() != 4*time.Second {
+		t.Errorf("total %v", b.Total())
+	}
+	names := b.Names()
+	if len(names) != 2 || names[0] != "io" || names[1] != "compute" {
+		t.Errorf("names %v", names)
+	}
+	if s := b.String(); !strings.Contains(s, "io=2s") {
+		t.Errorf("string %q", s)
+	}
+}

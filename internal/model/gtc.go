@@ -1,0 +1,269 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// GTC workload constants, from the paper's Section V-B: weak scaling with
+// 132 MB written per MPI process (one process per 8-core node), an I/O
+// interval of roughly 120 s, a 30-minute run, and a 64:1 compute:staging
+// core ratio realized as 2 staging processes x 4 worker threads per
+// staging node.
+const (
+	gtcBytesPerProc   = 132e6
+	gtcIOInterval     = 120.0
+	gtcRunSeconds     = 1800.0
+	gtcStagingRatio   = 64  // compute cores per staging core
+	gtcComputePerStag = 32  // compute processes per staging process
+	gtcHistFileBytes  = 8e6 // histogram result file size
+	// gtcStagingVisible is the visible blocking time of the staging
+	// configuration per dump: packing plus fetch-request dispatch (the
+	// paper measures 0.30 s at 16,384 cores).
+	gtcStagingVisible = 0.30
+)
+
+// GTCScales are the evaluated core counts of Figs. 7 and 8.
+var GTCScales = []int{512, 1024, 2048, 4096, 8192, 16384}
+
+// computeProcs returns the MPI process count of a GTC job.
+func gtcProcs(cores int, m Machine) int {
+	p := cores / m.CoresPerNode
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// stagingProcs returns the staging process count for a GTC job.
+func gtcStagingProcs(cores int, m Machine) int {
+	p := gtcProcs(cores, m) / gtcComputePerStag
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// OpPlacementTime is one operator's cost under both placements (one row
+// of Fig. 7).
+type OpPlacementTime struct {
+	Cores int
+	// InComputeWall is the operation's wall time inside the compute
+	// nodes, all visible to the simulation.
+	InComputeWall float64
+	// InComputeVisible adds the result-file write that also blocks the
+	// simulation (histogram ops).
+	InComputeVisible float64
+	// StagingWall is the operation's wall time in the staging area,
+	// hidden from the simulation by asynchrony.
+	StagingWall float64
+	// StagingLatency is the time from the I/O trigger until the
+	// operation's results exist in the staging area: fetch + processing.
+	StagingLatency float64
+}
+
+// stagingBytesPerProc is the packed data volume each staging process
+// pulls and processes per dump: constant under weak scaling because the
+// staging area grows with the job.
+func stagingBytesPerProc() float64 { return gtcBytesPerProc * gtcComputePerStag }
+
+// GTCSort models the particle sorting operator (Fig. 7 a,d):
+// communication-dominated, all-to-all. In compute nodes the shuffle cost
+// climbs with scale; in the staging area the per-process volume is
+// constant, so the time stays below ~33 s at every scale.
+func (m Machine) GTCSort(cores int) OpPlacementTime {
+	procs := gtcProcs(cores, m)
+	sProcs := gtcStagingProcs(cores, m)
+
+	localIC := gtcBytesPerProc / (m.SortRate * float64(m.CoresPerNode))
+	icWall := localIC + m.AllToAllTime(gtcBytesPerProc, procs)
+
+	perStag := stagingBytesPerProc()
+	// Two staging processes share each staging node's NIC.
+	shuffle := m.AllToAllTime(perStag, sProcs) * 2
+	localSt := perStag / (m.SortRate * 4) // 4 worker threads
+	stWall := shuffle + localSt
+	fetch := m.PullTime(perStag)
+	return OpPlacementTime{
+		Cores:            cores,
+		InComputeWall:    icWall,
+		InComputeVisible: icWall,
+		StagingWall:      stWall,
+		StagingLatency:   fetch + stWall,
+	}
+}
+
+// GTCHistogram models the 1D histogram operator (Fig. 7 b,e):
+// computation-dominant, with an 8 MB result write that exposes the
+// In-Compute-Node configuration to file-system variability.
+func (m Machine) GTCHistogram(cores int) OpPlacementTime {
+	procs := gtcProcs(cores, m)
+	icWall := gtcBytesPerProc/(m.HistRate*float64(m.CoresPerNode)) +
+		math.Log2(float64(procs))*m.MsgLatency*64 // count-vector reduction
+	low, high := m.PFSWriteTimeNoisy(gtcHistFileBytes, 1)
+	// The typical (geometric-mean) draw from the 0.25-7 s noisy result
+	// write is what the In-Compute-Node configuration pays per dump.
+	icVisible := icWall + math.Sqrt(low*high)
+
+	perStag := stagingBytesPerProc()
+	stWall := perStag/(m.HistRate*4) + 0.2 // shuffle of count vectors is small
+	fetch := m.PullTime(perStag)
+	return OpPlacementTime{
+		Cores:            cores,
+		InComputeWall:    icWall,
+		InComputeVisible: icVisible,
+		StagingWall:      stWall,
+		StagingLatency:   fetch + stWall,
+	}
+}
+
+// GTCHistogram2D models the 2D histogram operator (Fig. 7 c,f): like the
+// 1D histogram with ~2.5x the computation and a denser result exchange.
+func (m Machine) GTCHistogram2D(cores int) OpPlacementTime {
+	h := m.GTCHistogram(cores)
+	const factor = 2.5
+	procs := gtcProcs(cores, m)
+	icWall := factor*gtcBytesPerProc/(m.HistRate*float64(m.CoresPerNode)) +
+		math.Log2(float64(procs))*m.MsgLatency*256
+	low, high := m.PFSWriteTimeNoisy(gtcHistFileBytes, 1)
+	perStag := stagingBytesPerProc()
+	stWall := factor*perStag/(m.HistRate*4) + 0.5
+	return OpPlacementTime{
+		Cores:            cores,
+		InComputeWall:    icWall,
+		InComputeVisible: icWall + math.Sqrt(low*high),
+		StagingWall:      stWall,
+		StagingLatency:   h.StagingLatency - h.StagingWall + stWall,
+	}
+}
+
+// gtcInterference is the per-dump main-loop slowdown caused by scheduled
+// asynchronous data movement overlapping the simulation's collectives. It
+// grows superlinearly with scale — the effect behind the paper's decline
+// in CPU savings from 8,192 to 16,384 cores.
+func (m Machine) gtcInterference(cores int, scheduled bool) float64 {
+	f := gtcIOInterval * m.InterfFrac * math.Pow(float64(cores)/16384.0, 2)
+	if !scheduled {
+		f *= m.UnschedInterfFactor
+	}
+	return f
+}
+
+// GTCRunResult is one scale's row of Fig. 8: total times, breakdowns, and
+// the derived headline metrics.
+type GTCRunResult struct {
+	Cores int
+	Dumps int
+
+	// Breakdown per configuration, all in seconds over the whole run.
+	InCompute GTCBreakdown
+	Staging   GTCBreakdown
+
+	// ImprovementPct is the staging configuration's total-time improvement.
+	ImprovementPct float64
+	// CPUSavingHours is the total CPU usage saved by the staging
+	// configuration (staging cores included).
+	CPUSavingHours float64
+	// OpFractionPct is the in-compute share of time spent in operations.
+	OpFractionPct float64
+}
+
+// GTCBreakdown decomposes total execution time (Fig. 8b).
+type GTCBreakdown struct {
+	MainLoop   float64 // computation + application communication
+	IOBlocking float64 // visible write / pack time
+	Operations float64 // visible operator time (zero when staged)
+	Total      float64
+}
+
+// GTCRun models a 30-minute GTC production run at the given scale under
+// both configurations, with the sort + histogram + 2D-histogram operators
+// applied to every dump.
+func (m Machine) GTCRun(cores int) GTCRunResult {
+	return m.gtcRun(cores, true)
+}
+
+// GTCRunUnscheduled is the scheduling ablation: identical except that
+// asynchronous transfers are not scheduled around the simulation's
+// collective phases.
+func (m Machine) GTCRunUnscheduled(cores int) GTCRunResult {
+	return m.gtcRun(cores, false)
+}
+
+func (m Machine) gtcRun(cores int, scheduled bool) GTCRunResult {
+	procs := gtcProcs(cores, m)
+	dumps := int(gtcRunSeconds / gtcIOInterval)
+
+	sort := m.GTCSort(cores)
+	hist := m.GTCHistogram(cores)
+	hist2d := m.GTCHistogram2D(cores)
+
+	// In-Compute-Node: synchronous particle write + all operator time and
+	// histogram result writes are visible.
+	writeIC := m.PFSWriteTime(gtcBytesPerProc*float64(procs), procs)
+	opsIC := sort.InComputeWall + hist.InComputeVisible + hist2d.InComputeVisible
+	icPerDump := gtcIOInterval + writeIC + opsIC
+	ic := GTCBreakdown{
+		MainLoop:   gtcIOInterval * float64(dumps),
+		IOBlocking: writeIC * float64(dumps),
+		Operations: opsIC * float64(dumps),
+	}
+	ic.Total = ic.MainLoop + ic.IOBlocking + ic.Operations
+
+	// Staging: only packing is visible; the main loop absorbs transfer
+	// interference.
+	interf := m.gtcInterference(cores, scheduled)
+	st := GTCBreakdown{
+		MainLoop:   (gtcIOInterval + interf) * float64(dumps),
+		IOBlocking: gtcStagingVisible * float64(dumps),
+		Operations: 0,
+	}
+	st.Total = st.MainLoop + st.IOBlocking
+
+	stagingCores := cores / gtcStagingRatio
+	icCPU := ic.Total * float64(cores)
+	stCPU := st.Total * float64(cores+stagingCores)
+
+	return GTCRunResult{
+		Cores:          cores,
+		Dumps:          dumps,
+		InCompute:      ic,
+		Staging:        st,
+		ImprovementPct: 100 * (ic.Total - st.Total) / ic.Total,
+		CPUSavingHours: (icCPU - stCPU) / 3600,
+		OpFractionPct:  100 * opsIC / icPerDump,
+	}
+}
+
+// StagingRatioSweep models the staging sort and histogram wall times at
+// an alternative compute:staging core ratio — the sizing tradeoff the
+// paper's future work wants performance models for. Larger ratios mean
+// fewer staging resources, so each staging process pulls and processes
+// proportionally more data.
+func (m Machine) StagingRatioSweep(cores, ratio int) (sortWall, histWall float64) {
+	procs := gtcProcs(cores, m)
+	stagingCores := cores / ratio
+	if stagingCores < 4 {
+		stagingCores = 4
+	}
+	sProcs := stagingCores / 4 // 4 worker threads per staging process
+	if sProcs < 1 {
+		sProcs = 1
+	}
+	perStag := gtcBytesPerProc * float64(procs) / float64(sProcs)
+	shuffle := m.AllToAllTime(perStag, sProcs) * 2
+	sortWall = shuffle + perStag/(m.SortRate*4)
+	histWall = perStag/(m.HistRate*4) + 0.2
+	return sortWall, histWall
+}
+
+// String renders the run result as a report row.
+func (r GTCRunResult) String() string {
+	return fmt.Sprintf(
+		"cores=%5d IC total=%7.1fs (write=%5.2fs/dump ops=%5.2fs/dump) Staging total=%7.1fs (visible=%4.2fs/dump) improvement=%4.2f%% cpu-saving=%6.1f core-h",
+		r.Cores, r.InCompute.Total,
+		r.InCompute.IOBlocking/float64(r.Dumps),
+		r.InCompute.Operations/float64(r.Dumps),
+		r.Staging.Total, r.Staging.IOBlocking/float64(r.Dumps),
+		r.ImprovementPct, r.CPUSavingHours)
+}

@@ -1,0 +1,331 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+// The model tests pin down the *shapes* the paper reports: who wins,
+// by roughly what factor, where the crossovers fall, and the headline
+// numbers the text states explicitly.
+
+func TestGTCSortShape(t *testing.T) {
+	m := Jaguar()
+	var prevIC float64
+	for _, cores := range GTCScales {
+		r := m.GTCSort(cores)
+		// "sorting in the Staging Area takes at most 33 seconds at all
+		// scales, which is much less than the 120-second I/O interval".
+		if r.StagingWall > 35 {
+			t.Errorf("cores=%d staging sort wall %.1fs exceeds 35s", cores, r.StagingWall)
+		}
+		if r.StagingWall > gtcIOInterval {
+			t.Errorf("cores=%d staging sort does not fit the I/O interval", cores)
+		}
+		// In-compute shuffle time "increases dramatically as the
+		// operation scales".
+		if r.InComputeWall <= prevIC {
+			t.Errorf("cores=%d in-compute sort %.2fs not above previous %.2fs",
+				cores, r.InComputeWall, prevIC)
+		}
+		prevIC = r.InComputeWall
+		// Staging latency is much larger than in-compute latency — the
+		// paper calls it two orders of magnitude at the small scales.
+		if r.StagingLatency < 10*r.InComputeWall && cores <= 2048 {
+			t.Errorf("cores=%d staging latency %.1fs not >> in-compute %.1fs",
+				cores, r.StagingLatency, r.InComputeWall)
+		}
+	}
+	// Growth across the full range is substantial (>4x).
+	lo := m.GTCSort(GTCScales[0]).InComputeWall
+	hi := m.GTCSort(GTCScales[len(GTCScales)-1]).InComputeWall
+	if hi < 4*lo {
+		t.Errorf("in-compute sort grew only %.1fx from 512 to 16384 cores", hi/lo)
+	}
+}
+
+func TestGTCHistogramShape(t *testing.T) {
+	m := Jaguar()
+	for _, cores := range GTCScales {
+		h := m.GTCHistogram(cores)
+		// Computation-dominant: in-compute wall is small...
+		if h.InComputeWall > 1 {
+			t.Errorf("cores=%d in-compute histogram wall %.2fs too large", cores, h.InComputeWall)
+		}
+		// ...but the visible time includes the noisy result write
+		// (typical draw of the 0.25-7 s spread).
+		penalty := h.InComputeVisible - h.InComputeWall
+		if penalty < 0.25 || penalty > 7 {
+			t.Errorf("cores=%d histogram write penalty %.2fs outside the 0.25-7s spread",
+				cores, penalty)
+		}
+		// Staging takes longer wall time (capacity mismatch) but fits
+		// the interval and is hidden.
+		if h.StagingWall <= h.InComputeWall {
+			t.Errorf("cores=%d staging histogram %.2fs not slower than in-compute %.2fs",
+				cores, h.StagingWall, h.InComputeWall)
+		}
+		if h.StagingLatency > gtcIOInterval {
+			t.Errorf("cores=%d staging histogram latency %.1fs exceeds the I/O interval",
+				cores, h.StagingLatency)
+		}
+		h2 := m.GTCHistogram2D(cores)
+		if h2.InComputeWall <= h.InComputeWall || h2.StagingWall <= h.StagingWall {
+			t.Errorf("cores=%d 2D histogram not costlier than 1D", cores)
+		}
+	}
+}
+
+func TestGTCRunHeadlines(t *testing.T) {
+	m := Jaguar()
+	results := make(map[int]GTCRunResult)
+	for _, cores := range GTCScales {
+		r := m.GTCRun(cores)
+		results[cores] = r
+		// Staging wins at every scale, within the paper's 2.7-5.1% band
+		// (allow a little slack around it).
+		if r.ImprovementPct < 2.0 || r.ImprovementPct > 6.0 {
+			t.Errorf("cores=%d improvement %.2f%% outside [2,6]%%", cores, r.ImprovementPct)
+		}
+		// Positive CPU savings at all scales despite the 1.5% extra cores.
+		if r.CPUSavingHours <= 0 {
+			t.Errorf("cores=%d CPU saving %.1f core-hours not positive", cores, r.CPUSavingHours)
+		}
+		// Staging visible I/O stays tiny.
+		perDump := r.Staging.IOBlocking / float64(r.Dumps)
+		if perDump > 0.5 {
+			t.Errorf("cores=%d staging visible I/O %.2fs/dump", cores, perDump)
+		}
+	}
+	// Visible write at 16,384 cores: paper reports 8.6 s for 260 GB.
+	w := results[16384].InCompute.IOBlocking / float64(results[16384].Dumps)
+	if w < 6 || w > 12 {
+		t.Errorf("16384-core sync write %.1fs/dump, want ~8.6s", w)
+	}
+	// Savings decline from 8,192 to 16,384 cores (collective interference).
+	if results[16384].ImprovementPct >= results[8192].ImprovementPct {
+		t.Errorf("improvement did not decline at 16384: %.2f%% vs %.2f%% at 8192",
+			results[16384].ImprovementPct, results[8192].ImprovementPct)
+	}
+	// ~98 CPU-hours saved at 16,384 cores for the 30-minute run: same
+	// order of magnitude.
+	if s := results[16384].CPUSavingHours; s < 40 || s > 400 {
+		t.Errorf("16384-core CPU saving %.0f core-hours, want ~98", s)
+	}
+	// In-compute operation share grows with scale, around 3.0% -> 4.1%.
+	if results[512].OpFractionPct >= results[16384].OpFractionPct {
+		t.Errorf("op fraction did not grow: %.2f%% at 512 vs %.2f%% at 16384",
+			results[512].OpFractionPct, results[16384].OpFractionPct)
+	}
+	for _, cores := range GTCScales {
+		if f := results[cores].OpFractionPct; f < 2 || f > 6 {
+			t.Errorf("cores=%d op fraction %.2f%% outside [2,6]%%", cores, f)
+		}
+	}
+}
+
+func TestGTCSchedulingAblation(t *testing.T) {
+	m := Jaguar()
+	for _, cores := range []int{4096, 8192, 16384} {
+		sched := m.GTCRun(cores)
+		unsched := m.GTCRunUnscheduled(cores)
+		if unsched.ImprovementPct >= sched.ImprovementPct {
+			t.Errorf("cores=%d unscheduled improvement %.2f%% not worse than scheduled %.2f%%",
+				cores, unsched.ImprovementPct, sched.ImprovementPct)
+		}
+	}
+	// At the largest scale, unscheduled transfers erase the benefit.
+	if u := m.GTCRunUnscheduled(16384); u.ImprovementPct > 0 {
+		t.Errorf("unscheduled 16384-core improvement %.2f%% still positive; scheduling should matter more", u.ImprovementPct)
+	}
+}
+
+func TestDataSpacesHeadlines(t *testing.T) {
+	m := Jaguar()
+	var prevQuery float64
+	for _, q := range DSQueryCores {
+		r := m.DataSpaces(q)
+		// Paper averages: fetch 20.3 s, sort 30.6 s, index 2.08 s.
+		if math.Abs(r.FetchSeconds-20.3) > 4 {
+			t.Errorf("q=%d fetch %.1fs, want ~20.3s", q, r.FetchSeconds)
+		}
+		if math.Abs(r.SortSeconds-30.6) > 8 {
+			t.Errorf("q=%d sort %.1fs, want ~30.6s", q, r.SortSeconds)
+		}
+		if math.Abs(r.IndexSeconds-2.08) > 1 {
+			t.Errorf("q=%d index %.2fs, want ~2.08s", q, r.IndexSeconds)
+		}
+		// Preparation fits the paper's "no more than 55 seconds".
+		if prep := r.FetchSeconds + r.SortSeconds + r.IndexSeconds; prep > 58 {
+			t.Errorf("q=%d preparation %.1fs exceeds ~55s", q, prep)
+		}
+		// "responds to all queries in less than 80 seconds".
+		if r.TotalQuerySeconds > 90 {
+			t.Errorf("q=%d total query time %.1fs exceeds ~80s", q, r.TotalQuerySeconds)
+		}
+		// The first (setup) query is significantly more expensive.
+		if r.SetupSeconds <= r.QuerySeconds {
+			t.Errorf("q=%d setup %.1fs not above per-query %.1fs", q, r.SetupSeconds, r.QuerySeconds)
+		}
+		// Query time increases with the number of querying cores.
+		if r.QuerySeconds <= prevQuery {
+			t.Errorf("q=%d query time %.2fs not above previous %.2fs", q, r.QuerySeconds, prevQuery)
+		}
+		prevQuery = r.QuerySeconds
+		// Everything fits the 120 s output period.
+		if r.TotalQuerySeconds > gtcIOInterval {
+			t.Errorf("q=%d querying does not fit the I/O interval", q)
+		}
+	}
+}
+
+func TestPixieRunHeadlines(t *testing.T) {
+	m := JaguarXT4()
+	results := make(map[int]PixieRunResult)
+	for _, cores := range PixieScales {
+		r := m.PixieRun(cores)
+		results[cores] = r
+		// "slows the simulation in most cases by 0.01% to 0.7%".
+		if r.SlowdownPct < 0.005 || r.SlowdownPct > 0.75 {
+			t.Errorf("cores=%d slowdown %.3f%% outside [0.01,0.7]%%", cores, r.SlowdownPct)
+		}
+		// Staging costs more CPU (extra cores, slight slowdown)...
+		if r.CPURatio <= 1 {
+			t.Errorf("cores=%d CPU ratio %.4f not above 1", cores, r.CPURatio)
+		}
+	}
+	// ...but the gap narrows with scale ("the cost of the Staging
+	// approach catches up with that of the In-Compute-Node approach").
+	if results[4096].CPURatio >= results[256].CPURatio {
+		t.Errorf("CPU ratio did not decline: %.4f at 256 vs %.4f at 4096",
+			results[256].CPURatio, results[4096].CPURatio)
+	}
+	if results[4096].SlowdownPct >= results[256].SlowdownPct {
+		t.Errorf("slowdown did not decline with scale: %.3f%% at 256 vs %.3f%% at 4096",
+			results[256].SlowdownPct, results[4096].SlowdownPct)
+	}
+}
+
+func TestPixieReadHeadlines(t *testing.T) {
+	m := JaguarXT4()
+	r := m.PixieRead(4096)
+	// "10 times improvement in read performance" at 4,096 cores.
+	if r.Speedup < 5 || r.Speedup > 20 {
+		t.Errorf("4096-core merged-read speedup %.1fx, want ~10x", r.Speedup)
+	}
+	// The gap grows with writer count.
+	small := m.PixieRead(256)
+	if small.Speedup >= r.Speedup {
+		t.Errorf("speedup did not grow with scale: %.1fx at 256 vs %.1fx at 4096",
+			small.Speedup, r.Speedup)
+	}
+	if r.UnmergedChunks != 4096 {
+		t.Errorf("unmerged extents %d", r.UnmergedChunks)
+	}
+}
+
+func TestMachinePrimitives(t *testing.T) {
+	m := Jaguar()
+	// All-to-all degrades with scale.
+	if m.AllToAllTime(1e8, 64) >= m.AllToAllTime(1e8, 2048) {
+		t.Error("all-to-all not slower at larger scale")
+	}
+	if m.AllToAllTime(1e8, 1) != 0 {
+		t.Error("single-process all-to-all should be free")
+	}
+	// PFS write saturates: doubling writers at saturation does not halve
+	// the time.
+	big := 300e9
+	t2048 := m.PFSWriteTime(big, 2048)
+	t4096 := m.PFSWriteTime(big, 4096)
+	if t4096 < t2048*0.8 {
+		t.Errorf("saturated writes sped up too much: %.1fs -> %.1fs", t2048, t4096)
+	}
+	// Reading many extents costs more than one extent.
+	if m.PFSReadTime(1e9, 4096, 1) <= m.PFSReadTime(1e9, 1, 1) {
+		t.Error("extent count has no read cost")
+	}
+	// Noisy write bounds are ordered.
+	lo, hi := m.PFSWriteTimeNoisy(8e6, 1)
+	if lo >= hi || lo <= 0 {
+		t.Errorf("noisy write bounds (%g, %g)", lo, hi)
+	}
+	if m.PFSWriteTime(1e9, 0) <= 0 {
+		t.Error("zero-writer write time not positive")
+	}
+	if m.PullTime(210e6) < 0.9 || m.PullTime(210e6) > 1.1 {
+		t.Errorf("pull time %.2fs for one PullBW worth of bytes", m.PullTime(210e6))
+	}
+}
+
+func TestGTCOfflineComparison(t *testing.T) {
+	m := Jaguar()
+	for _, cores := range []int{512, 4096, 16384, 65536} {
+		r := m.GTCOffline(cores)
+		// Offline sorting needs a full extra copy of the dump.
+		if r.ExtraStorageBytes != r.DumpBytes {
+			t.Errorf("cores=%d extra storage %.0f != dump %.0f", cores, r.ExtraStorageBytes, r.DumpBytes)
+		}
+		// Three disk trips for sort, two for histograms.
+		if r.DiskTripsSort != 3 || r.DiskTripsHistogram != 2 {
+			t.Errorf("cores=%d disk trips %d/%d", cores, r.DiskTripsSort, r.DiskTripsHistogram)
+		}
+		// Offline latency always exceeds in-transit latency.
+		if r.SortLatency <= r.InTransitSortLatency {
+			t.Errorf("cores=%d offline sort %.1fs not slower than in-transit %.1fs",
+				cores, r.SortLatency, r.InTransitSortLatency)
+		}
+	}
+	// At 65,536 cores the dump is ~1 TB and offline latency is hundreds
+	// of seconds — unusable for the 120 s online-monitoring window.
+	big := m.GTCOffline(65536)
+	if big.DumpBytes < 0.9e12 || big.DumpBytes > 1.2e12 {
+		t.Errorf("65536-core dump %.2f TB, want ~1 TB", big.DumpBytes/1e12)
+	}
+	if big.SortLatency < 100 {
+		t.Errorf("65536-core offline sort %.1fs, want hundreds of seconds", big.SortLatency)
+	}
+	if big.FitsMonitoring {
+		t.Error("offline sort at 65536 cores should not fit the monitoring window")
+	}
+	if len(big.String()) == 0 {
+		t.Error("empty offline row")
+	}
+}
+
+func TestStagingRatioSweep(t *testing.T) {
+	m := Jaguar()
+	prevSort := 0.0
+	for _, ratio := range []int{32, 64, 128, 256} {
+		sort, hist := m.StagingRatioSweep(16384, ratio)
+		if sort <= prevSort {
+			t.Errorf("ratio %d:1 sort %.1fs not above previous %.1fs", ratio, sort, prevSort)
+		}
+		prevSort = sort
+		if hist <= 0 {
+			t.Errorf("ratio %d:1 hist %.1fs", ratio, hist)
+		}
+	}
+	// The paper's 64:1 configuration fits the I/O interval.
+	sort64, hist64 := m.StagingRatioSweep(16384, 64)
+	if sort64 > 120 || hist64 > 120 {
+		t.Errorf("64:1 does not fit the interval: sort %.1fs hist %.1fs", sort64, hist64)
+	}
+}
+
+func TestStringRows(t *testing.T) {
+	m := Jaguar()
+	if s := m.GTCRun(512).String(); len(s) == 0 {
+		t.Error("empty GTC row")
+	}
+	if s := m.DataSpaces(32).String(); len(s) == 0 {
+		t.Error("empty DataSpaces row")
+	}
+	x := JaguarXT4()
+	if s := x.PixieRun(256).String(); len(s) == 0 {
+		t.Error("empty Pixie row")
+	}
+	if s := x.PixieRead(4096).String(); len(s) == 0 {
+		t.Error("empty read row")
+	}
+}

@@ -1,0 +1,88 @@
+package model
+
+import "fmt"
+
+// OfflineResult models the paper's Section V-B.3 comparison: replacing
+// in-transit PreDatA operations with offline ones applied after the data
+// reaches disk.
+type OfflineResult struct {
+	Cores int
+	// DumpBytes is the particle data volume per I/O dump.
+	DumpBytes float64
+	// ExtraStorageBytes is the intermediate storage an offline sort
+	// consumes per dump (the full dump is rewritten).
+	ExtraStorageBytes float64
+	// DiskTripsSort is how many times the data crosses the disk
+	// controllers for an offline sort (write + read back + rewrite).
+	DiskTripsSort int
+	// DiskTripsHistogram is the same for offline histograms (write +
+	// read back; the result is negligible).
+	DiskTripsHistogram int
+	// SortLatency is the time from dump completion until sorted data
+	// exists on disk (read back + sort + rewrite).
+	SortLatency float64
+	// HistogramLatency is the time until histogram results exist.
+	HistogramLatency float64
+	// InTransitSortLatency is PreDatA's staging latency for the same
+	// operation, for comparison.
+	InTransitSortLatency float64
+	// FitsMonitoring reports whether the offline latency fits the
+	// 120-second I/O interval that online monitoring requires.
+	FitsMonitoring bool
+}
+
+// GTCOffline models the offline alternative at the given scale. At
+// 65,536 cores the paper counts 1 TB per dump, 1 TB of extra storage
+// every 120 s, three trips through the disk controllers, and
+// "hundreds of seconds" of latency — unusable for online monitoring.
+func (m Machine) GTCOffline(cores int) OfflineResult {
+	procs := gtcProcs(cores, m)
+	bytes := gtcBytesPerProc * float64(procs)
+
+	// Offline sort: analysis nodes (a small fraction of the compute
+	// allocation) read the dump back, sort, and write the sorted copy.
+	// The reads and rewrites contend with the still-running simulation's
+	// own dumps and with other jobs on the shared file system, so the
+	// analysis job sees only a fraction of the aggregate bandwidth —
+	// this contention is exactly the paper's "repeated read/write of the
+	// data in question" and "long-term adverse impacts on file system
+	// performance".
+	analysisProcs := procs / 64
+	if analysisProcs < 1 {
+		analysisProcs = 1
+	}
+	contended := m
+	contended.PFSAggBW = m.PFSAggBW / 4
+	readBack := contended.PFSReadTime(bytes, procs, analysisProcs)
+	sortTime := bytes / (m.SortRate * float64(analysisProcs*m.CoresPerNode))
+	rewrite := contended.PFSWriteTime(bytes, analysisProcs)
+	sortLatency := readBack + sortTime + rewrite
+
+	histTime := bytes / (m.HistRate * float64(analysisProcs*m.CoresPerNode))
+	histLatency := readBack + histTime
+
+	inTransit := m.GTCSort(cores).StagingLatency
+	return OfflineResult{
+		Cores:                cores,
+		DumpBytes:            bytes,
+		ExtraStorageBytes:    bytes, // sorted copy
+		DiskTripsSort:        3,     // original write + read back + rewrite
+		DiskTripsHistogram:   2,     // original write + read back
+		SortLatency:          sortLatency,
+		HistogramLatency:     histLatency,
+		InTransitSortLatency: inTransit,
+		FitsMonitoring:       sortLatency <= gtcIOInterval,
+	}
+}
+
+// String renders the offline comparison as a report row.
+func (r OfflineResult) String() string {
+	fits := "yes"
+	if !r.FitsMonitoring {
+		fits = "NO"
+	}
+	return fmt.Sprintf(
+		"cores=%5d dump=%6.1fGB extra-storage=%6.1fGB disk-trips=%d offline-sort=%6.1fs in-transit=%5.1fs fits-monitoring=%s",
+		r.Cores, r.DumpBytes/1e9, r.ExtraStorageBytes/1e9, r.DiskTripsSort,
+		r.SortLatency, r.InTransitSortLatency, fits)
+}

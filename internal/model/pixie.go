@@ -1,0 +1,135 @@
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Pixie3D experiment constants (Section V-C): XT4 partition, one MPI
+// process per core, 32³ local arrays (~2 MB per process), I/O about every
+// 100 s, 128:1 compute:staging core ratio, eight global double arrays.
+const (
+	pixieBytesPerProc = 2e6
+	pixieIOInterval   = 100.0
+	pixieRunSeconds   = 1800.0
+	pixieStagingRatio = 128
+	pixieVars         = 8
+	// pixieStagingVisible is the staging configuration's visible pack +
+	// request time per dump (tiny: 2 MB buffers).
+	pixieStagingVisible = 0.1
+)
+
+// PixieScales are the evaluated XT4 core counts of Fig. 10.
+var PixieScales = []int{256, 512, 1024, 2048, 4096}
+
+// PixieRunResult is one scale's row of Fig. 10.
+type PixieRunResult struct {
+	Cores int
+	Dumps int
+
+	InCompute GTCBreakdown
+	Staging   GTCBreakdown
+
+	// SlowdownPct is how much the staging configuration slows the
+	// simulation (positive = staging slower, the paper's 0.01%-0.7%).
+	SlowdownPct float64
+	// CPURatio is staging CPU usage over in-compute CPU usage (staging
+	// cores included); it approaches 1 as scale grows.
+	CPURatio float64
+}
+
+// pixieInterference models the main-loop slowdown from asynchronous
+// movement overlapping Pixie3D's dense collectives: the inner loop has
+// only ~0.7 s of computation between MPI_Reduce/MPI_Bcast rounds, so
+// there is little room to hide transfers, and the interference is
+// proportionally larger than GTC's at equal scale.
+func (m Machine) pixieInterference(procs int) float64 {
+	return 0.55 + 0.3*math.Sqrt(float64(procs)/256.0)
+}
+
+// PixieRun models a 30-minute Pixie3D run at the given scale under both
+// configurations. The In-Compute-Node configuration has no operators (the
+// reorganization only exists in the staging configuration, where it is
+// hidden); its cost is the synchronous unmerged write. The staging
+// configuration hides the write but pays interference against the
+// collective-heavy main loop.
+func (m Machine) PixieRun(cores int) PixieRunResult {
+	procs := cores // one process per core on XT4
+	dumps := int(pixieRunSeconds / pixieIOInterval)
+
+	writeIC := m.PFSWriteTime(pixieBytesPerProc*float64(procs), procs)
+	ic := GTCBreakdown{
+		MainLoop:   pixieIOInterval * float64(dumps),
+		IOBlocking: writeIC * float64(dumps),
+	}
+	ic.Total = ic.MainLoop + ic.IOBlocking
+
+	interf := m.pixieInterference(procs)
+	st := GTCBreakdown{
+		MainLoop:   (pixieIOInterval + interf) * float64(dumps),
+		IOBlocking: pixieStagingVisible * float64(dumps),
+	}
+	st.Total = st.MainLoop + st.IOBlocking
+
+	stagingCores := cores / pixieStagingRatio
+	if stagingCores < 1 {
+		stagingCores = 1
+	}
+	icCPU := ic.Total * float64(cores)
+	stCPU := st.Total * float64(cores+stagingCores)
+
+	return PixieRunResult{
+		Cores:       cores,
+		Dumps:       dumps,
+		InCompute:   ic,
+		Staging:     st,
+		SlowdownPct: 100 * (st.Total - ic.Total) / ic.Total,
+		CPURatio:    stCPU / icCPU,
+	}
+}
+
+// String renders the run result as a report row.
+func (r PixieRunResult) String() string {
+	return fmt.Sprintf(
+		"cores=%5d IC total=%7.1fs (write=%4.2fs/dump) Staging total=%7.1fs slowdown=%+5.3f%% cpu-ratio=%6.4f",
+		r.Cores, r.InCompute.Total, r.InCompute.IOBlocking/float64(r.Dumps),
+		r.Staging.Total, r.SlowdownPct, r.CPURatio)
+}
+
+// PixieReadResult is the Fig. 11 comparison: reading one global array of
+// one time step from the merged vs. unmerged 80 GB BP files produced by
+// 4,096-core runs.
+type PixieReadResult struct {
+	Cores          int
+	ArrayBytes     float64
+	UnmergedChunks int
+	MergedSeconds  float64
+	UnmergedRead   float64
+	Speedup        float64
+}
+
+// PixieRead models Fig. 11. In the unmerged file the array is scattered
+// over one chunk per writer process; reading it pays one extent
+// seek/RPC latency per chunk. The merged file stores it contiguously.
+func (m Machine) PixieRead(cores int) PixieReadResult {
+	procs := cores
+	arrayBytes := pixieBytesPerProc * float64(procs) / pixieVars
+	merged := m.PFSReadTime(arrayBytes, 1, 1)
+	unmerged := m.PFSReadTime(arrayBytes, procs, 1)
+	return PixieReadResult{
+		Cores:          cores,
+		ArrayBytes:     arrayBytes,
+		UnmergedChunks: procs,
+		MergedSeconds:  merged,
+		UnmergedRead:   unmerged,
+		Speedup:        unmerged / merged,
+	}
+}
+
+// String renders the read result as a report row.
+func (r PixieReadResult) String() string {
+	return fmt.Sprintf(
+		"cores=%5d array=%6.2fGB merged=%5.2fs unmerged=%6.2fs (%d extents) speedup=%5.1fx",
+		r.Cores, r.ArrayBytes/1e9, r.MergedSeconds, r.UnmergedRead,
+		r.UnmergedChunks, r.Speedup)
+}

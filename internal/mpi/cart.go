@@ -1,0 +1,130 @@
+package mpi
+
+import "fmt"
+
+// ProcNull is the rank returned by Shift for a neighbor beyond the edge
+// of a non-periodic Cartesian grid (MPI_PROC_NULL).
+const ProcNull = -2
+
+// CartComm is a communicator with a Cartesian topology attached — the
+// process arrangement 3D domain-decomposed codes like Pixie3D use to find
+// their neighbors. Ranks map to coordinates in row-major order.
+type CartComm struct {
+	*Comm
+	dims     []int
+	periodic []bool
+	coords   []int
+}
+
+// CartCreate attaches an n-dimensional Cartesian topology to comm. The
+// product of dims must equal the communicator size. periodic marks
+// wrap-around dimensions; nil means non-periodic everywhere.
+func CartCreate(comm *Comm, dims []int, periodic []bool) (*CartComm, error) {
+	if len(dims) == 0 {
+		return nil, fmt.Errorf("mpi: CartCreate with no dimensions")
+	}
+	n := 1
+	for i, d := range dims {
+		if d < 1 {
+			return nil, fmt.Errorf("mpi: CartCreate dim %d is %d", i, d)
+		}
+		n *= d
+	}
+	if n != comm.Size() {
+		return nil, fmt.Errorf("mpi: CartCreate grid %v holds %d ranks, communicator has %d",
+			dims, n, comm.Size())
+	}
+	if periodic == nil {
+		periodic = make([]bool, len(dims))
+	}
+	if len(periodic) != len(dims) {
+		return nil, fmt.Errorf("mpi: CartCreate periodic rank %d != dims rank %d",
+			len(periodic), len(dims))
+	}
+	cc := &CartComm{
+		Comm:     comm,
+		dims:     append([]int(nil), dims...),
+		periodic: append([]bool(nil), periodic...),
+	}
+	cc.coords = cc.coordsOf(comm.Rank())
+	return cc, nil
+}
+
+// Dims returns the grid dimensions.
+func (cc *CartComm) Dims() []int { return append([]int(nil), cc.dims...) }
+
+// Coords returns this rank's grid coordinates.
+func (cc *CartComm) Coords() []int { return append([]int(nil), cc.coords...) }
+
+// coordsOf converts a rank to coordinates (row-major).
+func (cc *CartComm) coordsOf(rank int) []int {
+	coords := make([]int, len(cc.dims))
+	for i := len(cc.dims) - 1; i >= 0; i-- {
+		coords[i] = rank % cc.dims[i]
+		rank /= cc.dims[i]
+	}
+	return coords
+}
+
+// RankOf converts coordinates to a rank, applying periodic wrap where
+// configured. Out-of-grid coordinates in non-periodic dimensions return
+// ProcNull.
+func (cc *CartComm) RankOf(coords []int) (int, error) {
+	if len(coords) != len(cc.dims) {
+		return 0, fmt.Errorf("mpi: RankOf coords rank %d != grid rank %d", len(coords), len(cc.dims))
+	}
+	rank := 0
+	for i, c := range coords {
+		d := cc.dims[i]
+		if cc.periodic[i] {
+			c = ((c % d) + d) % d
+		} else if c < 0 || c >= d {
+			return ProcNull, nil
+		}
+		rank = rank*d + c
+	}
+	return rank, nil
+}
+
+// Shift returns the source and destination ranks for a displacement along
+// one dimension (MPI_Cart_shift): dst is this rank's coordinate + disp,
+// src is coordinate - disp. Off-grid neighbors in non-periodic dimensions
+// are ProcNull.
+func (cc *CartComm) Shift(dim, disp int) (src, dst int, err error) {
+	if dim < 0 || dim >= len(cc.dims) {
+		return 0, 0, fmt.Errorf("mpi: Shift dim %d outside grid rank %d", dim, len(cc.dims))
+	}
+	up := append([]int(nil), cc.coords...)
+	up[dim] += disp
+	dst, err = cc.RankOf(up)
+	if err != nil {
+		return 0, 0, err
+	}
+	down := append([]int(nil), cc.coords...)
+	down[dim] -= disp
+	src, err = cc.RankOf(down)
+	if err != nil {
+		return 0, 0, err
+	}
+	return src, dst, nil
+}
+
+// HaloExchange sends `data` to the +disp neighbor and receives from the
+// -disp neighbor along one dimension, the building block of stencil halo
+// updates. At non-periodic edges the missing send/receive is skipped and
+// the returned Message has Src == ProcNull.
+func (cc *CartComm) HaloExchange(dim, disp, tag int, data any) (Message, error) {
+	src, dst, err := cc.Shift(dim, disp)
+	if err != nil {
+		return Message{}, err
+	}
+	if dst != ProcNull {
+		if err := cc.Send(dst, tag, data); err != nil {
+			return Message{}, err
+		}
+	}
+	if src == ProcNull {
+		return Message{Src: ProcNull}, nil
+	}
+	return cc.Recv(src, tag)
+}

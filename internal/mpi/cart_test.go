@@ -1,0 +1,202 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestCartCreateValidation(t *testing.T) {
+	err := Run(6, func(c *Comm) error {
+		if _, err := CartCreate(c, nil, nil); err == nil {
+			return fmt.Errorf("empty dims accepted")
+		}
+		if _, err := CartCreate(c, []int{2, 2}, nil); err == nil {
+			return fmt.Errorf("size-mismatched grid accepted")
+		}
+		if _, err := CartCreate(c, []int{0, 6}, nil); err == nil {
+			return fmt.Errorf("zero dim accepted")
+		}
+		if _, err := CartCreate(c, []int{2, 3}, []bool{true}); err == nil {
+			return fmt.Errorf("periodic rank mismatch accepted")
+		}
+		cc, err := CartCreate(c, []int{2, 3}, nil)
+		if err != nil {
+			return err
+		}
+		if d := cc.Dims(); d[0] != 2 || d[1] != 3 {
+			return fmt.Errorf("dims %v", d)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartCoordsBijection(t *testing.T) {
+	const nx, ny, nz = 2, 3, 2
+	err := Run(nx*ny*nz, func(c *Comm) error {
+		cc, err := CartCreate(c, []int{nx, ny, nz}, nil)
+		if err != nil {
+			return err
+		}
+		coords := cc.Coords()
+		back, err := cc.RankOf(coords)
+		if err != nil {
+			return err
+		}
+		if back != c.Rank() {
+			return fmt.Errorf("rank %d coords %v maps back to %d", c.Rank(), coords, back)
+		}
+		// Row-major convention.
+		want := (coords[0]*ny+coords[1])*nz + coords[2]
+		if want != c.Rank() {
+			return fmt.Errorf("coords %v not row-major for rank %d", coords, c.Rank())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCartShiftPeriodicAndEdge(t *testing.T) {
+	err := Run(4, func(c *Comm) error {
+		// 1D grid, non-periodic.
+		cc, err := CartCreate(c, []int{4}, nil)
+		if err != nil {
+			return err
+		}
+		src, dst, err := cc.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		switch c.Rank() {
+		case 0:
+			if src != ProcNull || dst != 1 {
+				return fmt.Errorf("rank 0 shift (%d,%d)", src, dst)
+			}
+		case 3:
+			if src != 2 || dst != ProcNull {
+				return fmt.Errorf("rank 3 shift (%d,%d)", src, dst)
+			}
+		default:
+			if src != c.Rank()-1 || dst != c.Rank()+1 {
+				return fmt.Errorf("rank %d shift (%d,%d)", c.Rank(), src, dst)
+			}
+		}
+		// Periodic ring.
+		ring, err := CartCreate(c, []int{4}, []bool{true})
+		if err != nil {
+			return err
+		}
+		src, dst, err = ring.Shift(0, 1)
+		if err != nil {
+			return err
+		}
+		if src != (c.Rank()+3)%4 || dst != (c.Rank()+1)%4 {
+			return fmt.Errorf("ring rank %d shift (%d,%d)", c.Rank(), src, dst)
+		}
+		if _, _, err := ring.Shift(5, 1); err == nil {
+			return fmt.Errorf("out-of-range dim accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCartHaloExchangeRing: values circulate one hop around a periodic
+// ring; each rank must receive its left neighbor's rank.
+func TestCartHaloExchangeRing(t *testing.T) {
+	const n = 5
+	err := Run(n, func(c *Comm) error {
+		cc, err := CartCreate(c, []int{n}, []bool{true})
+		if err != nil {
+			return err
+		}
+		msg, err := cc.HaloExchange(0, 1, 3, c.Rank())
+		if err != nil {
+			return err
+		}
+		want := (c.Rank() + n - 1) % n
+		if msg.Src != want || msg.Data.(int) != want {
+			return fmt.Errorf("rank %d got %v from %d, want %d", c.Rank(), msg.Data, msg.Src, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCartHaloExchangeEdge: at the non-periodic upper edge, the receive
+// is skipped and reported as ProcNull.
+func TestCartHaloExchangeEdge(t *testing.T) {
+	const n = 3
+	err := Run(n, func(c *Comm) error {
+		cc, err := CartCreate(c, []int{n}, nil)
+		if err != nil {
+			return err
+		}
+		msg, err := cc.HaloExchange(0, 1, 9, c.Rank()*10)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 0 {
+			if msg.Src != ProcNull {
+				return fmt.Errorf("rank 0 received from %d", msg.Src)
+			}
+			return nil
+		}
+		if msg.Data.(int) != (c.Rank()-1)*10 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), msg.Data)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCart2DNeighborSum: each rank sums its four 2D neighbors' ranks via
+// halo exchanges and checks against a direct computation.
+func TestCart2DNeighborSum(t *testing.T) {
+	const nx, ny = 3, 4
+	err := Run(nx*ny, func(c *Comm) error {
+		cc, err := CartCreate(c, []int{nx, ny}, []bool{true, true})
+		if err != nil {
+			return err
+		}
+		sum := 0
+		tag := 11
+		for dim := 0; dim < 2; dim++ {
+			for _, disp := range []int{1, -1} {
+				msg, err := cc.HaloExchange(dim, disp, tag, c.Rank())
+				if err != nil {
+					return err
+				}
+				sum += msg.Data.(int)
+				tag++
+			}
+		}
+		coords := cc.Coords()
+		want := 0
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			nb := []int{coords[0] + d[0], coords[1] + d[1]}
+			r, err := cc.RankOf(nb)
+			if err != nil {
+				return err
+			}
+			want += r
+		}
+		if sum != want {
+			return fmt.Errorf("rank %d neighbor sum %d want %d", c.Rank(), sum, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,59 @@
+package mpi_test
+
+import (
+	"fmt"
+	"sort"
+
+	"predata/internal/mpi"
+)
+
+// ExampleRun shows the SPMD shape every job in this repository uses:
+// n goroutine ranks running the same function, communicating through the
+// communicator.
+func ExampleRun() {
+	sums := make([]int, 4)
+	err := mpi.Run(4, func(c *mpi.Comm) error {
+		// Each rank contributes its rank number; everyone learns the sum.
+		total, err := mpi.Allreduce(c, []int{c.Rank()}, func(a, b int) int { return a + b })
+		if err != nil {
+			return err
+		}
+		sums[c.Rank()] = total[0]
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println(sums)
+	// Output: [6 6 6 6]
+}
+
+// ExampleAlltoall shows the personalized exchange behind the staging
+// area's shuffle phase: rank r sends a distinct slice to every peer.
+func ExampleAlltoall() {
+	var collected []string
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		send := make([][]string, 3)
+		for dst := range send {
+			send[dst] = []string{fmt.Sprintf("%d->%d", c.Rank(), dst)}
+		}
+		recv, err := mpi.Alltoall(c, send)
+		if err != nil {
+			return err
+		}
+		if c.Rank() == 1 {
+			for _, row := range recv {
+				collected = append(collected, row...)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	sort.Strings(collected)
+	fmt.Println(collected)
+	// Output: [0->1 1->1 2->1]
+}

@@ -1,0 +1,365 @@
+// Package mpi implements a small in-process message-passing runtime with
+// MPI-like semantics: a fixed set of ranks executing SPMD code, matched
+// point-to-point messaging, and the usual collective operations.
+//
+// The paper's staging area runs as "a separate MPI program" whose analysis
+// operators use "the highly-optimized MPI routines present on the peta-scale
+// machine" for shuffling and synchronization. This package is the
+// substitution for that substrate: each rank is a goroutine and messages
+// travel through unbounded in-memory mailboxes, so the same SPMD programs
+// (sample sort, reductions, all-to-all shuffles) run unchanged in spirit.
+//
+// Messages transfer ownership of their payload: a sender must not mutate
+// data after sending it. Mailboxes are unbounded, so Send never deadlocks
+// against a peer that has not yet posted a receive.
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sort"
+	"sync"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1 // match a message from any rank
+	AnyTag    = -1 // match a message with any tag
+)
+
+// Message is a received point-to-point message.
+type Message struct {
+	Src  int // sending rank within the communicator
+	Tag  int // user tag (>= 0)
+	Data any // payload; ownership belongs to the receiver
+}
+
+// envelope is the internal wire representation of a message.
+type envelope struct {
+	comm int // communicator id
+	src  int // sender rank in that communicator
+	tag  int // user or internal tag
+	data any
+}
+
+// mailbox is an unbounded, condition-variable-guarded message queue.
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	queue  []envelope
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(e envelope) {
+	m.mu.Lock()
+	m.queue = append(m.queue, e)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message matching (comm, src, tag) is queued and
+// removes it. src and tag may be wildcards. It returns an error if the
+// world shuts down while waiting.
+func (m *mailbox) take(comm, src, tag int) (envelope, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, e := range m.queue {
+			if e.comm != comm {
+				continue
+			}
+			if src != AnySource && e.src != src {
+				continue
+			}
+			if tag != AnyTag && e.tag != tag {
+				continue
+			}
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return e, nil
+		}
+		if m.closed {
+			return envelope{}, errors.New("mpi: world shut down while receiving")
+		}
+		m.cond.Wait()
+	}
+}
+
+// peek reports whether a message matching (comm, src, tag) is queued,
+// without removing it.
+func (m *mailbox) peek(comm, src, tag int) (src2, tag2 int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, e := range m.queue {
+		if e.comm != comm {
+			continue
+		}
+		if src != AnySource && e.src != src {
+			continue
+		}
+		if tag != AnyTag && e.tag != tag {
+			continue
+		}
+		return e.src, e.tag, true
+	}
+	return 0, 0, false
+}
+
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// world holds the shared state of one Run invocation.
+type world struct {
+	n     int
+	boxes []*mailbox
+}
+
+// Comm is a communicator: a view of an ordered group of ranks. Methods on a
+// Comm may only be called from the goroutine that owns the rank.
+type Comm struct {
+	world   *world
+	id      int   // communicator id, equal on all members
+	rank    int   // caller's rank within this communicator
+	members []int // world rank of each communicator rank
+	collSeq int   // collective sequence number, advances in lockstep
+}
+
+// Rank returns the caller's rank in the communicator.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.members) }
+
+// Send delivers data to rank `to` with the given tag (tag must be >= 0).
+// The payload is handed off by reference; the sender must not mutate it
+// afterwards.
+func (c *Comm) Send(to, tag int, data any) error {
+	if tag < 0 {
+		return fmt.Errorf("mpi: Send tag %d must be >= 0", tag)
+	}
+	return c.send(to, tag, data)
+}
+
+// send is the internal path that also accepts reserved negative tags.
+func (c *Comm) send(to, tag int, data any) error {
+	if to < 0 || to >= len(c.members) {
+		return fmt.Errorf("mpi: Send to rank %d outside communicator of size %d", to, len(c.members))
+	}
+	c.world.boxes[c.members[to]].put(envelope{comm: c.id, src: c.rank, tag: tag, data: data})
+	return nil
+}
+
+// Recv blocks until a message matching (from, tag) arrives. Use AnySource
+// and AnyTag as wildcards. Tags passed must be >= 0 or AnyTag.
+func (c *Comm) Recv(from, tag int) (Message, error) {
+	if tag < 0 && tag != AnyTag {
+		return Message{}, fmt.Errorf("mpi: Recv tag %d must be >= 0 or AnyTag", tag)
+	}
+	return c.recv(from, tag)
+}
+
+func (c *Comm) recv(from, tag int) (Message, error) {
+	if from != AnySource && (from < 0 || from >= len(c.members)) {
+		return Message{}, fmt.Errorf("mpi: Recv from rank %d outside communicator of size %d", from, len(c.members))
+	}
+	e, err := c.world.boxes[c.members[c.rank]].take(c.id, from, tag)
+	if err != nil {
+		return Message{}, err
+	}
+	return Message{Src: e.src, Tag: e.tag, Data: e.data}, nil
+}
+
+// Request represents an in-flight nonblocking operation.
+type Request struct {
+	done chan struct{}
+	msg  Message
+	err  error
+}
+
+// Wait blocks until the operation completes and returns its result. For
+// send requests the Message is the zero value.
+func (r *Request) Wait() (Message, error) {
+	<-r.done
+	return r.msg, r.err
+}
+
+// Isend starts a nonblocking send. Because mailboxes are unbounded the
+// operation completes immediately, but the Request form keeps call sites
+// symmetric with Irecv.
+func (c *Comm) Isend(to, tag int, data any) *Request {
+	r := &Request{done: make(chan struct{})}
+	r.err = c.Send(to, tag, data)
+	close(r.done)
+	return r
+}
+
+// Iprobe reports whether a message matching (from, tag) is waiting,
+// returning its actual source and tag without consuming it.
+func (c *Comm) Iprobe(from, tag int) (src, msgTag int, ok bool, err error) {
+	if tag < 0 && tag != AnyTag {
+		return 0, 0, false, fmt.Errorf("mpi: Iprobe tag %d must be >= 0 or AnyTag", tag)
+	}
+	if from != AnySource && (from < 0 || from >= len(c.members)) {
+		return 0, 0, false, fmt.Errorf("mpi: Iprobe from rank %d outside communicator of size %d",
+			from, len(c.members))
+	}
+	src, msgTag, ok = c.world.boxes[c.members[c.rank]].peek(c.id, from, tag)
+	return src, msgTag, ok, nil
+}
+
+// Sendrecv sends to `to` and receives from `from` in one call, safe
+// against the head-to-head exchange deadlock that naive Send-then-Recv
+// would risk on a rendezvous transport.
+func (c *Comm) Sendrecv(to, sendTag int, data any, from, recvTag int) (Message, error) {
+	if err := c.Send(to, sendTag, data); err != nil {
+		return Message{}, err
+	}
+	return c.Recv(from, recvTag)
+}
+
+// Irecv starts a nonblocking receive matching (from, tag).
+func (c *Comm) Irecv(from, tag int) *Request {
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		r.msg, r.err = c.Recv(from, tag)
+		close(r.done)
+	}()
+	return r
+}
+
+// nextCollTag reserves the internal tag for the next collective call. All
+// ranks call collectives in the same order, so the sequence numbers agree.
+// Internal tags are negative and therefore cannot collide with user tags.
+func (c *Comm) nextCollTag() int {
+	c.collSeq++
+	return -c.collSeq
+}
+
+// Barrier blocks until every rank in the communicator has entered it.
+// It is implemented as a dissemination barrier: log2(n) rounds of paired
+// notifications.
+func (c *Comm) Barrier() error {
+	tag := c.nextCollTag()
+	n := len(c.members)
+	for dist := 1; dist < n; dist *= 2 {
+		to := (c.rank + dist) % n
+		from := (c.rank - dist + n) % n
+		if err := c.send(to, tag, nil); err != nil {
+			return err
+		}
+		if _, err := c.recv(from, tag); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Split partitions the communicator into disjoint sub-communicators, one
+// per distinct color. Ranks within a sub-communicator are ordered by
+// (key, parent rank). Every rank of the parent must call Split. A negative
+// color returns a nil communicator for that rank (MPI_UNDEFINED).
+func (c *Comm) Split(color, key int) (*Comm, error) {
+	type triple struct{ Color, Key, Rank int }
+	all, err := Allgather(c, []triple{{color, key, c.rank}})
+	if err != nil {
+		return nil, err
+	}
+	if color < 0 {
+		return nil, nil
+	}
+	var group []triple
+	for _, rows := range all {
+		for _, t := range rows {
+			if t.Color == color {
+				group = append(group, t)
+			}
+		}
+	}
+	sort.Slice(group, func(i, j int) bool {
+		if group[i].Key != group[j].Key {
+			return group[i].Key < group[j].Key
+		}
+		return group[i].Rank < group[j].Rank
+	})
+	members := make([]int, len(group))
+	myRank := -1
+	for i, t := range group {
+		members[i] = c.members[t.Rank]
+		if t.Rank == c.rank {
+			myRank = i
+		}
+	}
+	// Derive the sub-communicator id deterministically so that all members
+	// agree without extra communication: parent id, collective seq, and
+	// color uniquely identify this split result.
+	id := c.id*1_000_003 + c.collSeq*4099 + color + 7
+	return &Comm{world: c.world, id: id, rank: myRank, members: members}, nil
+}
+
+// Dup returns a communicator with the same group but a distinct id, so
+// that message traffic in the duplicate cannot match receives in the
+// original. All ranks must call Dup.
+func (c *Comm) Dup() (*Comm, error) {
+	// Advance the collective sequence in lockstep so ids agree.
+	c.collSeq++
+	id := c.id*1_000_003 + c.collSeq*4099 + 3
+	return &Comm{world: c.world, id: id, rank: c.rank, members: append([]int(nil), c.members...)}, nil
+}
+
+// Run executes fn on n goroutine ranks sharing a new world and blocks until
+// all return. The error is the join of all per-rank errors; a panic in a
+// rank is converted to an error carrying the stack trace.
+func Run(n int, fn func(c *Comm) error) error {
+	if n <= 0 {
+		return fmt.Errorf("mpi: Run size %d must be positive", n)
+	}
+	w := &world{n: n, boxes: make([]*mailbox, n)}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	members := make([]int, n)
+	for i := range members {
+		members[i] = i
+	}
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v\n%s", rank, p, debug.Stack())
+					// Unblock peers waiting on this rank.
+					for _, b := range w.boxes {
+						b.close()
+					}
+				}
+			}()
+			comm := &Comm{world: w, id: 0, rank: rank, members: members}
+			errs[rank] = fn(comm)
+			if errs[rank] != nil {
+				// A failed rank aborts the job (MPI_Abort semantics):
+				// close every mailbox so peers blocked on this rank's
+				// messages fail with an error instead of deadlocking.
+				// Already-queued messages remain deliverable, so ranks
+				// draining completed exchanges finish normally.
+				for _, b := range w.boxes {
+					b.close()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}

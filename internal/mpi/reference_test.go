@@ -1,0 +1,292 @@
+package mpi
+
+// Reference-based property tests: every collective is checked against a
+// sequential reference computation over the same randomized inputs.
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// randomInputs builds per-rank input slices of equal length.
+func randomInputs(rng *rand.Rand, ranks, width int) [][]float64 {
+	in := make([][]float64, ranks)
+	for r := range in {
+		in[r] = make([]float64, width)
+		for i := range in[r] {
+			in[r][i] = float64(rng.Intn(2000) - 1000)
+		}
+	}
+	return in
+}
+
+func TestAllreduceMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 1 + rng.Intn(9)
+		width := 1 + rng.Intn(32)
+		in := randomInputs(rng, ranks, width)
+		want := make([]float64, width)
+		for i := range want {
+			want[i] = in[0][i]
+			for r := 1; r < ranks; r++ {
+				if in[r][i] > want[i] {
+					want[i] = in[r][i]
+				}
+			}
+		}
+		outs := make([][]float64, ranks)
+		err := Run(ranks, func(c *Comm) error {
+			out, err := Allreduce(c, in[c.Rank()],
+				func(a, b float64) float64 {
+					if a > b {
+						return a
+					}
+					return b
+				})
+			if err != nil {
+				return err
+			}
+			outs[c.Rank()] = out
+			return nil
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for r := 0; r < ranks; r++ {
+			for i := range want {
+				if outs[r][i] != want[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 1 + rng.Intn(9)
+		width := 1 + rng.Intn(16)
+		in := randomInputs(rng, ranks, width)
+		// Reference inclusive prefix sums.
+		want := make([][]float64, ranks)
+		acc := make([]float64, width)
+		for r := 0; r < ranks; r++ {
+			for i := range acc {
+				acc[i] += in[r][i]
+			}
+			want[r] = append([]float64(nil), acc...)
+		}
+		outs := make([][]float64, ranks)
+		err := Run(ranks, func(c *Comm) error {
+			out, err := Scan(c, in[c.Rank()], func(a, b float64) float64 { return a + b })
+			if err != nil {
+				return err
+			}
+			outs[c.Rank()] = out
+			return nil
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for r := 0; r < ranks; r++ {
+			for i := 0; i < width; i++ {
+				if outs[r][i] != want[r][i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlltoallMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 1 + rng.Intn(8)
+		// send[r][dst] is a distinct slice per pair, variable lengths.
+		send := make([][][]int, ranks)
+		for r := 0; r < ranks; r++ {
+			send[r] = make([][]int, ranks)
+			for dst := 0; dst < ranks; dst++ {
+				n := rng.Intn(5)
+				for k := 0; k < n; k++ {
+					send[r][dst] = append(send[r][dst], r*1000+dst*10+k)
+				}
+			}
+		}
+		recvs := make([][][]int, ranks)
+		err := Run(ranks, func(c *Comm) error {
+			recv, err := Alltoall(c, send[c.Rank()])
+			if err != nil {
+				return err
+			}
+			recvs[c.Rank()] = recv
+			return nil
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		for r := 0; r < ranks; r++ {
+			for src := 0; src < ranks; src++ {
+				want := send[src][r]
+				got := recvs[r][src]
+				if len(got) != len(want) {
+					return false
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastMatchesReferenceAllRoots(t *testing.T) {
+	for ranks := 1; ranks <= 6; ranks++ {
+		for root := 0; root < ranks; root++ {
+			payload := []int{ranks, root, 42}
+			err := Run(ranks, func(c *Comm) error {
+				var in []int
+				if c.Rank() == root {
+					in = payload
+				}
+				out, err := Bcast(c, in, root)
+				if err != nil {
+					return err
+				}
+				if len(out) != 3 || out[0] != ranks || out[1] != root || out[2] != 42 {
+					return fmt.Errorf("rank %d got %v", c.Rank(), out)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("ranks=%d root=%d: %v", ranks, root, err)
+			}
+		}
+	}
+}
+
+func TestGatherMatchesReferenceAllRoots(t *testing.T) {
+	for ranks := 1; ranks <= 6; ranks++ {
+		for root := 0; root < ranks; root++ {
+			err := Run(ranks, func(c *Comm) error {
+				in := []int{c.Rank() * 7}
+				rows, err := Gather(c, in, root)
+				if err != nil {
+					return err
+				}
+				if c.Rank() != root {
+					if rows != nil {
+						return fmt.Errorf("non-root got rows")
+					}
+					return nil
+				}
+				for r, row := range rows {
+					if len(row) != 1 || row[0] != r*7 {
+						return fmt.Errorf("row %d = %v", r, row)
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("ranks=%d root=%d: %v", ranks, root, err)
+			}
+		}
+	}
+}
+
+// TestCollectiveSequenceStress interleaves many collectives of different
+// kinds in the same order on all ranks, verifying the internal tag
+// sequencing never cross-matches.
+func TestCollectiveSequenceStress(t *testing.T) {
+	const ranks = 6
+	var mu sync.Mutex
+	failures := 0
+	err := Run(ranks, func(c *Comm) error {
+		rng := rand.New(rand.NewSource(99)) // same schedule on all ranks
+		for round := 0; round < 50; round++ {
+			switch rng.Intn(5) {
+			case 0:
+				if err := c.Barrier(); err != nil {
+					return err
+				}
+			case 1:
+				out, err := Bcast(c, []int{round}, round%ranks)
+				if err != nil {
+					return err
+				}
+				if out[0] != round {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+				}
+			case 2:
+				sum, err := Allreduce(c, []int{1}, func(a, b int) int { return a + b })
+				if err != nil {
+					return err
+				}
+				if sum[0] != ranks {
+					mu.Lock()
+					failures++
+					mu.Unlock()
+				}
+			case 3:
+				rows, err := Allgather(c, []int{c.Rank()})
+				if err != nil {
+					return err
+				}
+				for r, row := range rows {
+					if row[0] != r {
+						mu.Lock()
+						failures++
+						mu.Unlock()
+					}
+				}
+			case 4:
+				send := make([][]int, ranks)
+				for dst := range send {
+					send[dst] = []int{c.Rank()}
+				}
+				recv, err := Alltoall(c, send)
+				if err != nil {
+					return err
+				}
+				for src, row := range recv {
+					if row[0] != src {
+						mu.Lock()
+						failures++
+						mu.Unlock()
+					}
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failures > 0 {
+		t.Fatalf("%d cross-matched collective results", failures)
+	}
+}

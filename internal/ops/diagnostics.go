@@ -1,0 +1,198 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"predata/internal/bp"
+	"predata/internal/ffs"
+	"predata/internal/staging"
+)
+
+// DiagnosticsConfig configures a DiagnosticsOperator.
+type DiagnosticsConfig struct {
+	// Field names within chunks (Pixie3D's layout): density, the three
+	// momentum components, and the three vector-potential components.
+	Rho, Px, Py, Pz string
+	Ax, Ay, Az      string
+	// Output, when non-nil, receives the derived quantities as scalars
+	// at Finalize — the file VisIt-style tools would read alongside the
+	// raw fields.
+	Output *bp.Writer
+}
+
+// DefaultDiagnosticsConfig matches the pixie3d proxy's variable names.
+func DefaultDiagnosticsConfig() DiagnosticsConfig {
+	return DiagnosticsConfig{
+		Rho: "rho", Px: "px", Py: "py", Pz: "pz",
+		Ax: "ax", Ay: "ay", Az: "az",
+	}
+}
+
+// diagPartial is the per-chunk contribution to the global diagnostics.
+type diagPartial struct {
+	Energy     float64
+	Divergence float64
+	MaxVel     float64
+	Flux       float64
+	Cells      int64
+}
+
+// DiagnosticsOperator computes the derived quantities of the paper's
+// Fig. 2 — energy, flux, divergence, maximum velocity — in the staging
+// area, from the raw Pixie3D fields streaming by. Map evaluates each
+// chunk's local contribution; Reduce combines them into global values
+// (sums for energy/flux/divergence, max for velocity); Finalize publishes
+// and optionally writes them, so visualization tools read small derived
+// scalars instead of re-deriving them from terabytes of raw data.
+type DiagnosticsOperator struct {
+	cfg DiagnosticsConfig
+
+	mu     sync.Mutex
+	result diagPartial
+	step   int64
+}
+
+// NewDiagnosticsOperator validates the configuration and returns the
+// operator.
+func NewDiagnosticsOperator(cfg DiagnosticsConfig) (*DiagnosticsOperator, error) {
+	for _, name := range []string{cfg.Rho, cfg.Px, cfg.Py, cfg.Pz, cfg.Ax, cfg.Ay, cfg.Az} {
+		if name == "" {
+			return nil, fmt.Errorf("ops: diagnostics needs all seven field names")
+		}
+	}
+	return &DiagnosticsOperator{cfg: cfg}, nil
+}
+
+// Name implements staging.Operator.
+func (d *DiagnosticsOperator) Name() string { return "diagnostics" }
+
+// Initialize resets per-dump state.
+func (d *DiagnosticsOperator) Initialize(ctx *staging.Context, agg map[string]any) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.result = diagPartial{}
+	return nil
+}
+
+// cube extracts a 3D float64 field from a chunk.
+func cube(chunk *staging.Chunk, name string) (*ffs.Array, int, error) {
+	v, ok := chunk.Record[name]
+	if !ok {
+		return nil, 0, fmt.Errorf("ops: chunk from rank %d has no field %q", chunk.WriterRank, name)
+	}
+	arr, ok := v.(*ffs.Array)
+	if !ok || len(arr.Dims) != 3 || arr.Float64 == nil {
+		return nil, 0, fmt.Errorf("ops: field %q is not a 3D float64 array", name)
+	}
+	if arr.Dims[0] != arr.Dims[1] || arr.Dims[1] != arr.Dims[2] {
+		return nil, 0, fmt.Errorf("ops: field %q is not cubic: %v", name, arr.Dims)
+	}
+	return arr, int(arr.Dims[0]), nil
+}
+
+// Map evaluates the chunk's local diagnostic contributions.
+func (d *DiagnosticsOperator) Map(ctx *staging.Context, chunk *staging.Chunk) error {
+	rho, n, err := cube(chunk, d.cfg.Rho)
+	if err != nil {
+		return err
+	}
+	fields := make(map[string][]float64, 6)
+	for _, name := range []string{d.cfg.Px, d.cfg.Py, d.cfg.Pz, d.cfg.Ax, d.cfg.Ay, d.cfg.Az} {
+		arr, m, err := cube(chunk, name)
+		if err != nil {
+			return err
+		}
+		if m != n {
+			return fmt.Errorf("ops: field %q extent %d != %d", name, m, n)
+		}
+		fields[name] = arr.Float64
+	}
+	d.mu.Lock()
+	d.step = chunk.Timestep
+	d.mu.Unlock()
+
+	px, py, pz := fields[d.cfg.Px], fields[d.cfg.Py], fields[d.cfg.Pz]
+	ax, ay, az := fields[d.cfg.Ax], fields[d.cfg.Ay], fields[d.cfg.Az]
+	at := func(f []float64, x, y, z int) float64 {
+		x, y, z = (x+n)%n, (y+n)%n, (z+n)%n
+		return f[(x*n+y)*n+z]
+	}
+	var p diagPartial
+	p.Cells = int64(n * n * n)
+	for x := 0; x < n; x++ {
+		for y := 0; y < n; y++ {
+			for z := 0; z < n; z++ {
+				i := (x*n+y)*n + z
+				if rho.Float64[i] > 0 {
+					p2 := px[i]*px[i] + py[i]*py[i] + pz[i]*pz[i]
+					p.Energy += p2 / rho.Float64[i] / 2
+					speed := math.Sqrt(p2) / rho.Float64[i]
+					if speed > p.MaxVel {
+						p.MaxVel = speed
+					}
+				}
+				div := (at(ax, x+1, y, z)-at(ax, x-1, y, z))/2 +
+					(at(ay, x, y+1, z)-at(ay, x, y-1, z))/2 +
+					(at(az, x, y, z+1)-at(az, x, y, z-1))/2
+				p.Divergence += math.Abs(div)
+				if x == 0 {
+					p.Flux += px[i]
+				}
+			}
+		}
+	}
+	ctx.Emit(0, p)
+	return nil
+}
+
+// Reduce combines the per-chunk contributions.
+func (d *DiagnosticsOperator) Reduce(ctx *staging.Context, tag int, values []any) error {
+	var total diagPartial
+	for _, v := range values {
+		p, ok := v.(diagPartial)
+		if !ok {
+			return fmt.Errorf("ops: diagnostics reduce got %T", v)
+		}
+		total.Energy += p.Energy
+		total.Divergence += p.Divergence
+		total.Flux += p.Flux
+		total.Cells += p.Cells
+		if p.MaxVel > total.MaxVel {
+			total.MaxVel = p.MaxVel
+		}
+	}
+	d.mu.Lock()
+	d.result = total
+	d.mu.Unlock()
+	return nil
+}
+
+// Finalize publishes the global diagnostics on the owning rank.
+func (d *DiagnosticsOperator) Finalize(ctx *staging.Context) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.result.Cells == 0 {
+		return nil // this rank did not own the reduce tag
+	}
+	ctx.SetResult("energy", d.result.Energy)
+	ctx.SetResult("divergence", d.result.Divergence)
+	ctx.SetResult("max_velocity", d.result.MaxVel)
+	ctx.SetResult("flux", d.result.Flux)
+	ctx.SetResult("cells", d.result.Cells)
+	if d.cfg.Output != nil {
+		_, err := d.cfg.Output.WritePG(ctx.Rank(), d.step, []bp.VarChunk{
+			{Name: "diag_energy", Dims: []uint64{1}, Data: []float64{d.result.Energy}},
+			{Name: "diag_divergence", Dims: []uint64{1}, Data: []float64{d.result.Divergence}},
+			{Name: "diag_max_velocity", Dims: []uint64{1}, Data: []float64{d.result.MaxVel}},
+			{Name: "diag_flux", Dims: []uint64{1}, Data: []float64{d.result.Flux}},
+		})
+		if err != nil {
+			return fmt.Errorf("ops: diagnostics output: %w", err)
+		}
+	}
+	return nil
+}
+
+var _ staging.Operator = (*DiagnosticsOperator)(nil)

@@ -1,0 +1,189 @@
+package ops
+
+import (
+	"math"
+	"testing"
+
+	"predata/internal/apps/pixie3d"
+	"predata/internal/bp"
+	"predata/internal/ffs"
+	"predata/internal/mpi"
+	"predata/internal/pfs"
+	"predata/internal/predata"
+	"predata/internal/staging"
+)
+
+func TestNewDiagnosticsOperatorValidation(t *testing.T) {
+	if _, err := NewDiagnosticsOperator(DiagnosticsConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	cfg := DefaultDiagnosticsConfig()
+	cfg.Az = ""
+	if _, err := NewDiagnosticsOperator(cfg); err == nil {
+		t.Error("missing field name accepted")
+	}
+	if _, err := NewDiagnosticsOperator(DefaultDiagnosticsConfig()); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDiagnosticsMatchesSimulation: the staged diagnostics of a single
+// rank's fields exactly match the simulation's own ComputeDiagnostics
+// (same discretization, same periodic wrap).
+func TestDiagnosticsMatchesSimulation(t *testing.T) {
+	sim, err := pixie3d.New(pixie3d.Config{
+		Rank: 0, ProcGrid: [3]int{1, 1, 1}, LocalSize: 6, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sim.ComputeDiagnostics()
+
+	cfg := predata.PipelineConfig{NumCompute: 1, NumStaging: 1, Dumps: 1}
+	res, err := predata.RunPipeline(cfg,
+		func(comm *mpi.Comm, client *predata.Client) error {
+			rec := ffs.Record{}
+			for _, name := range pixie3d.VarNames {
+				arr, err := sim.Field(name)
+				if err != nil {
+					return err
+				}
+				rec[name] = arr
+			}
+			_, err := client.Write(pixie3d.Schema(), rec, 0)
+			return err
+		},
+		func(dump int) []staging.Operator {
+			op, err := NewDiagnosticsOperator(DefaultDiagnosticsConfig())
+			if err != nil {
+				t.Error(err)
+				return nil
+			}
+			return []staging.Operator{op}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.StagingResults[0][0].PerOperator["diagnostics"]
+	checks := []struct {
+		key  string
+		want float64
+	}{
+		{"energy", want.Energy},
+		{"divergence", want.Divergence},
+		{"max_velocity", want.MaxVelocity},
+		{"flux", want.Flux},
+	}
+	for _, c := range checks {
+		got, ok := out[c.key].(float64)
+		if !ok {
+			t.Fatalf("missing diagnostic %q", c.key)
+		}
+		if math.Abs(got-c.want) > 1e-9*math.Max(1, math.Abs(c.want)) {
+			t.Errorf("%s = %g want %g", c.key, got, c.want)
+		}
+	}
+	if cells, _ := out["cells"].(int64); cells != 6*6*6 {
+		t.Errorf("cells %v", out["cells"])
+	}
+}
+
+// TestDiagnosticsMultiRankCombines: contributions from several writers
+// combine (sums and max) and land on exactly one staging rank.
+func TestDiagnosticsMultiRankCombines(t *testing.T) {
+	const ranks = 4
+	fs, _ := pfs.New(pfs.Config{NumOSTs: 4, OSTBandwidth: 1e9, StripeSize: 1 << 20, Seed: 1})
+	bw, _ := bp.CreateWriter(fs, "diag.bp", 4)
+	sims := make([]*pixie3d.Simulation, ranks)
+	var wantEnergy, wantMaxVel float64
+	for r := 0; r < ranks; r++ {
+		sim, err := pixie3d.New(pixie3d.Config{
+			Rank: r, ProcGrid: [3]int{ranks, 1, 1}, LocalSize: 4, Seed: 21,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sims[r] = sim
+		d := sim.ComputeDiagnostics()
+		wantEnergy += d.Energy
+		wantMaxVel = math.Max(wantMaxVel, d.MaxVelocity)
+	}
+	cfg := predata.PipelineConfig{NumCompute: ranks, NumStaging: 2, Dumps: 1}
+	res, err := predata.RunPipeline(cfg,
+		func(comm *mpi.Comm, client *predata.Client) error {
+			rec := ffs.Record{}
+			for _, name := range pixie3d.VarNames {
+				arr, err := sims[comm.Rank()].Field(name)
+				if err != nil {
+					return err
+				}
+				rec[name] = arr
+			}
+			_, err := client.Write(pixie3d.Schema(), rec, 0)
+			return err
+		},
+		func(dump int) []staging.Operator {
+			c := DefaultDiagnosticsConfig()
+			c.Output = bw
+			op, err := NewDiagnosticsOperator(c)
+			if err != nil {
+				t.Error(err)
+				return nil
+			}
+			return []staging.Operator{op}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := 0
+	var gotEnergy, gotMaxVel float64
+	for rank := 0; rank < 2; rank++ {
+		out := res.StagingResults[rank][0].PerOperator["diagnostics"]
+		if e, ok := out["energy"].(float64); ok {
+			owners++
+			gotEnergy = e
+			gotMaxVel = out["max_velocity"].(float64)
+		}
+	}
+	if owners != 1 {
+		t.Fatalf("diagnostics owned by %d ranks", owners)
+	}
+	if math.Abs(gotEnergy-wantEnergy) > 1e-9*wantEnergy {
+		t.Errorf("energy %g want %g", gotEnergy, wantEnergy)
+	}
+	if gotMaxVel != wantMaxVel {
+		t.Errorf("max velocity %g want %g", gotMaxVel, wantMaxVel)
+	}
+	// The derived quantities landed in the BP file.
+	if _, err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := bp.OpenReader(fs, "diag.bp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _, _, err := r.ReadVar("diag_energy", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(data[0]-wantEnergy) > 1e-9*wantEnergy {
+		t.Errorf("file energy %g want %g", data[0], wantEnergy)
+	}
+}
+
+func TestDiagnosticsRejectsBadChunks(t *testing.T) {
+	cfg := predata.PipelineConfig{NumCompute: 1, NumStaging: 1, Dumps: 1}
+	schema := &ffs.Schema{Name: "bad", Fields: []ffs.Field{{Name: "rho", Kind: ffs.KindFloat64}}}
+	_, err := predata.RunPipeline(cfg,
+		func(comm *mpi.Comm, client *predata.Client) error {
+			_, err := client.Write(schema, ffs.Record{"rho": 1.0}, 0)
+			return err
+		},
+		func(dump int) []staging.Operator {
+			op, _ := NewDiagnosticsOperator(DefaultDiagnosticsConfig())
+			return []staging.Operator{op}
+		})
+	if err == nil {
+		t.Fatal("non-array rho accepted")
+	}
+}

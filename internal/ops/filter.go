@@ -1,0 +1,57 @@
+package ops
+
+import (
+	"fmt"
+
+	"predata/internal/ffs"
+	"predata/internal/predata"
+)
+
+// FilterRowsTransform returns a compute-node Transform that drops the
+// rows of a [N, K] array variable for which keep returns false — the
+// paper's Stage-1a "filtering out undesired regions" pass, executed
+// before packing so the filtered rows never cross the network.
+//
+// The keep predicate receives one row (K attribute values) and must be
+// deterministic and cheap: Stage-1a runs inside the simulation's visible
+// I/O window.
+func FilterRowsTransform(varName string, keep func(row []float64) bool) predata.TransformFunc {
+	return func(schema *ffs.Schema, rec ffs.Record) (*ffs.Schema, ffs.Record, error) {
+		v, ok := rec[varName]
+		if !ok {
+			return nil, nil, fmt.Errorf("ops: filter: record has no variable %q", varName)
+		}
+		arr, ok := v.(*ffs.Array)
+		if !ok || len(arr.Dims) != 2 || arr.Float64 == nil {
+			return nil, nil, fmt.Errorf("ops: filter: variable %q is not a 2D float64 array", varName)
+		}
+		rows, k := int(arr.Dims[0]), int(arr.Dims[1])
+		kept := make([]float64, 0, len(arr.Float64))
+		for r := 0; r < rows; r++ {
+			row := arr.Float64[r*k : (r+1)*k]
+			if keep(row) {
+				kept = append(kept, row...)
+			}
+		}
+		out := make(ffs.Record, len(rec))
+		for key, val := range rec {
+			out[key] = val
+		}
+		out[varName] = &ffs.Array{
+			Dims:    []uint64{uint64(len(kept) / k), uint64(k)},
+			Float64: kept,
+		}
+		return schema, out, nil
+	}
+}
+
+// ColumnRangeFilter builds a keep predicate accepting rows whose column
+// value lies in [lo, hi) — the typical region-of-interest filter.
+func ColumnRangeFilter(col int, lo, hi float64) func(row []float64) bool {
+	return func(row []float64) bool {
+		if col < 0 || col >= len(row) {
+			return false
+		}
+		return row[col] >= lo && row[col] < hi
+	}
+}

@@ -1,0 +1,271 @@
+package ops
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"predata/internal/dataspaces"
+	"predata/internal/ffs"
+	"predata/internal/mpi"
+	"predata/internal/predata"
+	"predata/internal/staging"
+)
+
+func TestFilterRowsTransform(t *testing.T) {
+	tf := FilterRowsTransform("p", func(row []float64) bool { return row[0] >= 0.5 })
+	arr := &ffs.Array{
+		Dims:    []uint64{4, 2},
+		Float64: []float64{0.1, 1, 0.6, 2, 0.5, 3, 0.4, 4},
+	}
+	schema, rec, err := tf(particleSchema, ffs.Record{"p": arr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if schema != particleSchema {
+		t.Error("schema changed")
+	}
+	out := rec["p"].(*ffs.Array)
+	if out.Dims[0] != 2 || out.Dims[1] != 2 {
+		t.Fatalf("dims %v", out.Dims)
+	}
+	want := []float64{0.6, 2, 0.5, 3}
+	for i := range want {
+		if out.Float64[i] != want[i] {
+			t.Fatalf("filtered %v", out.Float64)
+		}
+	}
+	// Original record untouched.
+	if arr.Dims[0] != 4 {
+		t.Error("input mutated")
+	}
+	// Errors.
+	if _, _, err := tf(particleSchema, ffs.Record{}); err == nil {
+		t.Error("missing variable accepted")
+	}
+	if _, _, err := tf(particleSchema, ffs.Record{"p": 5.0}); err == nil {
+		t.Error("non-array accepted")
+	}
+}
+
+func TestColumnRangeFilter(t *testing.T) {
+	keep := ColumnRangeFilter(1, 0.2, 0.8)
+	if !keep([]float64{0, 0.2}) {
+		t.Error("lower bound excluded")
+	}
+	if keep([]float64{0, 0.8}) {
+		t.Error("upper bound included")
+	}
+	if keep([]float64{0, 0.1}) || keep([]float64{0, 0.9}) {
+		t.Error("out-of-range value kept")
+	}
+	if ColumnRangeFilter(5, 0, 1)([]float64{1, 2}) {
+		t.Error("out-of-range column kept")
+	}
+	if ColumnRangeFilter(-1, 0, 1)([]float64{1}) {
+		t.Error("negative column kept")
+	}
+}
+
+// TestFilterTransformEndToEnd: the transform runs on the compute node, so
+// the staging area only ever sees the region of interest.
+func TestFilterTransformEndToEnd(t *testing.T) {
+	const numCompute, perRank = 4, 200
+	cfg := predata.PipelineConfig{
+		NumCompute: numCompute,
+		NumStaging: 2,
+		Dumps:      1,
+		Transform:  FilterRowsTransform("p", ColumnRangeFilter(colX, 0, 0.25)),
+	}
+	var mu sync.Mutex
+	var total int64
+	var violations int
+	res, err := predata.RunPipeline(cfg,
+		func(comm *mpi.Comm, client *predata.Client) error {
+			arr := makeParticles(comm.Rank(), perRank, newRNG(comm.Rank()))
+			_, err := client.Write(particleSchema, ffs.Record{"p": arr}, 0)
+			return err
+		},
+		func(dump int) []staging.Operator {
+			return []staging.Operator{&rowAuditOp{onRow: func(row []float64) {
+				mu.Lock()
+				total++
+				if row[colX] < 0 || row[colX] >= 0.25 {
+					violations++
+				}
+				mu.Unlock()
+			}}}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = res
+	if violations > 0 {
+		t.Errorf("%d rows escaped the filter", violations)
+	}
+	if total == 0 || total >= numCompute*perRank {
+		t.Errorf("staging saw %d rows of %d generated; filter had no effect", total, numCompute*perRank)
+	}
+}
+
+// rowAuditOp invokes a callback per row.
+type rowAuditOp struct {
+	onRow func(row []float64)
+}
+
+func (r *rowAuditOp) Name() string { return "audit" }
+func (r *rowAuditOp) Initialize(ctx *staging.Context, agg map[string]any) error {
+	return nil
+}
+func (r *rowAuditOp) Map(ctx *staging.Context, chunk *staging.Chunk) error {
+	arr, rows, k, err := matrixVar(chunk, "p")
+	if err != nil {
+		return err
+	}
+	for i := 0; i < rows; i++ {
+		r.onRow(arr.Float64[i*k : (i+1)*k])
+	}
+	return nil
+}
+func (r *rowAuditOp) Reduce(ctx *staging.Context, tag int, values []any) error { return nil }
+func (r *rowAuditOp) Finalize(ctx *staging.Context) error                      { return nil }
+
+func TestDataSpacesOperatorValidation(t *testing.T) {
+	space, err := dataspaces.New(dataspaces.Config{
+		Servers: 1, Domain: dataspaces.Domain{Dims: []uint64{10, 10}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []DataSpacesConfig{
+		{},
+		{Var: "p"},
+		{Var: "p", Space: space},
+		{Var: "p", Space: space, Object: "w", ValueCol: -1},
+	}
+	for i, cfg := range cases {
+		if _, err := NewDataSpacesOperator(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// TestDataSpacesOperatorEndToEnd: particles staged through the pipeline
+// land in the shared space, queryable by label coordinates.
+func TestDataSpacesOperatorEndToEnd(t *testing.T) {
+	const numCompute, perRank = 4, 100
+	space, err := dataspaces.New(dataspaces.Config{
+		Servers: 2,
+		Domain:  dataspaces.Domain{Dims: []uint64{perRank, numCompute}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := runParticlePipeline(t, numCompute, 2, perRank,
+		func(dump int) []staging.Operator {
+			op, err := NewDataSpacesOperator(DataSpacesConfig{
+				Var: "p", Space: space, Object: "weight",
+				ValueCol: colWeight, IDCol: colID, RankCol: colRank,
+			})
+			if err != nil {
+				t.Error(err)
+				return nil
+			}
+			return []staging.Operator{op}
+		})
+	var inserted int64
+	for rank := 0; rank < 2; rank++ {
+		n, _ := res.StagingResults[rank][0].PerOperator["dataspaces"]["inserted"].(int64)
+		inserted += n
+	}
+	if inserted != numCompute*perRank {
+		t.Fatalf("inserted %d want %d", inserted, numCompute*perRank)
+	}
+	// The full domain is now retrievable from the space; cross-check a
+	// few cells against regenerated reference particles.
+	all, err := space.Get("weight", 0, []uint64{0, 0}, []uint64{perRank, numCompute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != numCompute*perRank {
+		t.Fatalf("space holds %d cells", len(all))
+	}
+	for rank := 0; rank < numCompute; rank++ {
+		ref := makeParticles(rank, perRank, newRNG(rank))
+		for i := 0; i < perRank; i++ {
+			row := ref.Float64[i*attrCount:]
+			id := int(row[colID])
+			got := all[id*numCompute+rank]
+			if got != row[colWeight] {
+				t.Fatalf("cell (id=%d, rank=%d) = %g want %g", id, rank, got, row[colWeight])
+			}
+		}
+	}
+	// Aggregation over one writer's column.
+	mx, err := space.Reduce("weight", 0, []uint64{0, 1}, []uint64{perRank, 2}, dataspaces.ReduceMax)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mx <= 0 || mx > 1 {
+		t.Errorf("max weight %g", mx)
+	}
+}
+
+// TestChunkOrderCustomization: a descending-writer-rank order is observed
+// by a strictly streaming (single-worker, single-pull) engine.
+func TestChunkOrderCustomization(t *testing.T) {
+	const numCompute = 6
+	var mu sync.Mutex
+	var order []int
+	cfg := predata.PipelineConfig{
+		NumCompute:      numCompute,
+		NumStaging:      1,
+		Dumps:           1,
+		Engine:          staging.Config{Workers: 1},
+		PullConcurrency: 1,
+		ChunkOrder: func(a, b predata.FetchRequest) bool {
+			return a.WriterRank > b.WriterRank // descending
+		},
+	}
+	_, err := predata.RunPipeline(cfg,
+		func(comm *mpi.Comm, client *predata.Client) error {
+			arr := makeParticles(comm.Rank(), 10, newRNG(comm.Rank()))
+			_, err := client.Write(particleSchema, ffs.Record{"p": arr}, 0)
+			return err
+		},
+		func(dump int) []staging.Operator {
+			return []staging.Operator{&chunkOrderOp{onChunk: func(rank int) {
+				mu.Lock()
+				order = append(order, rank)
+				mu.Unlock()
+			}}}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != numCompute {
+		t.Fatalf("saw %d chunks", len(order))
+	}
+	for i := range order {
+		if order[i] != numCompute-1-i {
+			t.Fatalf("stream order %v, want descending writer ranks", order)
+		}
+	}
+}
+
+type chunkOrderOp struct {
+	onChunk func(rank int)
+}
+
+func (c *chunkOrderOp) Name() string                                              { return "order" }
+func (c *chunkOrderOp) Initialize(ctx *staging.Context, agg map[string]any) error { return nil }
+func (c *chunkOrderOp) Map(ctx *staging.Context, chunk *staging.Chunk) error {
+	c.onChunk(chunk.WriterRank)
+	return nil
+}
+func (c *chunkOrderOp) Reduce(ctx *staging.Context, tag int, values []any) error { return nil }
+func (c *chunkOrderOp) Finalize(ctx *staging.Context) error                      { return nil }
+
+// newRNG keeps test particle generation consistent with
+// runParticlePipeline's seeding convention (see ops_test.go).
+func newRNG(rank int) *rand.Rand { return rand.New(rand.NewSource(int64(rank) + 1)) }

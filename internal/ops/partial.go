@@ -1,0 +1,93 @@
+package ops
+
+import (
+	"fmt"
+	"math"
+
+	"predata/internal/ffs"
+	"predata/internal/predata"
+)
+
+// ColumnMinMax is the piggybacked partial result of MinMaxPartial: the
+// local min and max of each requested column.
+type ColumnMinMax struct {
+	Cols []int
+	Min  []float64
+	Max  []float64
+	Rows int
+}
+
+// MinMaxPartial returns a PartialCalculate hook computing the local
+// min/max of the given columns of the [N, K] array variable varName —
+// the paper's Stage-1a example ("calculating local min/max values of
+// partial array chunks").
+func MinMaxPartial(varName string, cols []int) predata.PartialFunc {
+	return func(schema *ffs.Schema, rec ffs.Record) (any, error) {
+		v, ok := rec[varName].(*ffs.Array)
+		if !ok {
+			return nil, fmt.Errorf("ops: record has no array variable %q", varName)
+		}
+		if len(v.Dims) != 2 || v.Float64 == nil {
+			return nil, fmt.Errorf("ops: variable %q is not a 2D float64 array", varName)
+		}
+		rows, k := int(v.Dims[0]), int(v.Dims[1])
+		out := ColumnMinMax{
+			Cols: append([]int(nil), cols...),
+			Min:  make([]float64, len(cols)),
+			Max:  make([]float64, len(cols)),
+			Rows: rows,
+		}
+		for i := range out.Min {
+			out.Min[i] = math.Inf(1)
+			out.Max[i] = math.Inf(-1)
+		}
+		for ci, c := range cols {
+			if c < 0 || c >= k {
+				return nil, fmt.Errorf("ops: column %d outside [0,%d)", c, k)
+			}
+			for r := 0; r < rows; r++ {
+				x := v.Float64[r*k+c]
+				if x < out.Min[ci] {
+					out.Min[ci] = x
+				}
+				if x > out.Max[ci] {
+					out.Max[ci] = x
+				}
+			}
+		}
+		return out, nil
+	}
+}
+
+// MinMaxAggregate returns an Aggregate hook folding ColumnMinMax partials
+// into global per-column ranges under keys "min:<col>"/"max:<col>", plus
+// the total row count under "rows" and per-writer row counts under
+// "rowsByRank" (a map[int]int) — the global knowledge Stage 2 produces.
+func MinMaxAggregate() predata.AggregateFunc {
+	return func(partials []predata.RankPartial) map[string]any {
+		agg := make(map[string]any)
+		var total int64
+		byRank := make(map[int]int)
+		for _, p := range partials {
+			mm, ok := p.Partial.(ColumnMinMax)
+			if !ok {
+				continue
+			}
+			total += int64(mm.Rows)
+			byRank[p.Rank] = mm.Rows
+			for i, c := range mm.Cols {
+				loKey := fmt.Sprintf("min:%d", c)
+				hiKey := fmt.Sprintf("max:%d", c)
+				if cur, ok := agg[loKey].(float64); !ok || mm.Min[i] < cur {
+					agg[loKey] = mm.Min[i]
+				}
+				if cur, ok := agg[hiKey].(float64); !ok || mm.Max[i] > cur {
+					agg[hiKey] = mm.Max[i]
+				}
+			}
+		}
+		agg["rows"] = total
+		agg["rowsByRank"] = byRank
+		return agg
+	}
+}

@@ -1,0 +1,80 @@
+package pfs
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExportImportRoundTrip(t *testing.T) {
+	fs, _ := New(quietConfig())
+	f, _ := fs.Create("a", 2)
+	payload := []byte("the quick brown fox")
+	if _, err := f.WriteAt(payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fs.Export("a", &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), payload) {
+		t.Fatalf("exported %q", buf.Bytes())
+	}
+	// Import into a second file system.
+	fs2, _ := New(quietConfig())
+	if err := fs2.Import("b", &buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	g, err := fs2.Open("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := g.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("imported %q", got)
+	}
+}
+
+func TestExportMissingFile(t *testing.T) {
+	fs, _ := New(quietConfig())
+	if err := fs.Export("ghost", &bytes.Buffer{}); err == nil {
+		t.Fatal("export of missing file accepted")
+	}
+}
+
+func TestExportImportOS(t *testing.T) {
+	fs, _ := New(quietConfig())
+	f, _ := fs.Create("data", 1)
+	if _, err := f.WriteAt([]byte{1, 2, 3, 4}, 0); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.bin")
+	if err := fs.ExportToOS("data", path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) != 4 || raw[3] != 4 {
+		t.Fatalf("exported bytes %v", raw)
+	}
+	fs2, _ := New(quietConfig())
+	if err := fs2.ImportFromOS("back", path, 32); err != nil {
+		t.Fatal(err)
+	}
+	g, _ := fs2.Open("back")
+	if g.Size() != 4 {
+		t.Fatalf("imported size %d", g.Size())
+	}
+	if err := fs2.ImportFromOS("x", "/nonexistent/y", 1); err == nil {
+		t.Fatal("import of missing OS file accepted")
+	}
+	if err := fs.ExportToOS("data", "/nonexistent/dir/file"); err == nil {
+		t.Fatal("export to invalid path accepted")
+	}
+}

@@ -1,0 +1,292 @@
+// Package pfs models a striped parallel file system (Lustre-like) with an
+// in-memory data plane and an analytic performance plane.
+//
+// Data written is actually stored, so readers get back exactly the bytes
+// written (the BP layer depends on this). Every operation additionally
+// returns a modeled duration derived from a machine description: per-request
+// latency (metadata + seek), per-OST bandwidth, striping, sharing between
+// concurrent requests, an injected external load (other jobs on the shared
+// machine), and log-normal variability. The paper's evaluation leans on
+// precisely these effects: synchronous-write latency growing with scale,
+// file-system noise that staging insulates the simulation from (the 0.25 s
+// to 7 s histogram-write spread), and the chunked-vs-merged read gap of
+// Fig. 11.
+package pfs
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Config describes the modeled machine.
+type Config struct {
+	// NumOSTs is the number of object storage targets. Must be >= 1.
+	NumOSTs int
+	// OSTBandwidth is the sustained bandwidth of one OST in bytes/second.
+	OSTBandwidth float64
+	// StripeSize is the striping unit in bytes. Must be >= 1.
+	StripeSize int64
+	// OpLatency is the fixed per-request overhead (metadata round trip,
+	// disk seek). Charged once per WriteAt/ReadAt call.
+	OpLatency time.Duration
+	// VarSigma is the sigma of the log-normal noise multiplier applied to
+	// each operation's duration. Zero disables variability.
+	VarSigma float64
+	// Seed seeds the noise generator.
+	Seed int64
+}
+
+// DefaultConfig returns a machine description loosely calibrated to the
+// Jaguar-era Lustre scratch system: 672 OSTs behind ~60 GB/s aggregate.
+func DefaultConfig() Config {
+	return Config{
+		NumOSTs:      672,
+		OSTBandwidth: 90e6, // 90 MB/s per OST
+		StripeSize:   1 << 20,
+		OpLatency:    10 * time.Millisecond,
+		VarSigma:     0.3,
+		Seed:         1,
+	}
+}
+
+// Stats aggregates observed traffic.
+type Stats struct {
+	BytesWritten int64
+	BytesRead    int64
+	WriteOps     int64
+	ReadOps      int64
+	// ModeledWriteTime and ModeledReadTime sum the modeled durations of
+	// all operations (which overlap under concurrency; this is total
+	// device time, not wall time).
+	ModeledWriteTime time.Duration
+	ModeledReadTime  time.Duration
+}
+
+// FileSystem is a simulated parallel file system. All methods are safe for
+// concurrent use.
+type FileSystem struct {
+	cfg Config
+
+	mu       sync.Mutex
+	files    map[string]*fileData
+	rng      *rand.Rand
+	active   int     // in-flight requests (internal sharers)
+	external float64 // external load in units of equivalent concurrent jobs
+	stats    Stats
+}
+
+type fileData struct {
+	mu      sync.Mutex
+	data    []byte
+	stripes int // stripe count chosen at create time
+}
+
+// New creates an empty file system with the given machine description.
+func New(cfg Config) (*FileSystem, error) {
+	if cfg.NumOSTs < 1 {
+		return nil, fmt.Errorf("pfs: NumOSTs %d must be >= 1", cfg.NumOSTs)
+	}
+	if cfg.OSTBandwidth <= 0 {
+		return nil, fmt.Errorf("pfs: OSTBandwidth %g must be positive", cfg.OSTBandwidth)
+	}
+	if cfg.StripeSize < 1 {
+		return nil, fmt.Errorf("pfs: StripeSize %d must be >= 1", cfg.StripeSize)
+	}
+	return &FileSystem{
+		cfg:   cfg,
+		files: make(map[string]*fileData),
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+	}, nil
+}
+
+// SetExternalLoad injects load from other jobs sharing the file system,
+// in units of equivalent concurrent full-bandwidth streams. Zero means the
+// machine is otherwise idle.
+func (fs *FileSystem) SetExternalLoad(sharers float64) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if sharers < 0 {
+		sharers = 0
+	}
+	fs.external = sharers
+}
+
+// Stats returns a snapshot of accumulated traffic counters.
+func (fs *FileSystem) Stats() Stats {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.stats
+}
+
+// Create creates (or truncates) a file striped over min(stripes, NumOSTs)
+// OSTs. stripes <= 0 selects the file-system default (4, matching typical
+// Lustre defaults).
+func (fs *FileSystem) Create(name string, stripes int) (*File, error) {
+	if name == "" {
+		return nil, fmt.Errorf("pfs: empty file name")
+	}
+	if stripes <= 0 {
+		stripes = 4
+	}
+	if stripes > fs.cfg.NumOSTs {
+		stripes = fs.cfg.NumOSTs
+	}
+	fd := &fileData{stripes: stripes}
+	fs.mu.Lock()
+	fs.files[name] = fd
+	fs.mu.Unlock()
+	return &File{fs: fs, name: name, fd: fd}, nil
+}
+
+// Open opens an existing file.
+func (fs *FileSystem) Open(name string) (*File, error) {
+	fs.mu.Lock()
+	fd, ok := fs.files[name]
+	fs.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("pfs: open %s: no such file", name)
+	}
+	return &File{fs: fs, name: name, fd: fd}, nil
+}
+
+// Remove deletes a file.
+func (fs *FileSystem) Remove(name string) error {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if _, ok := fs.files[name]; !ok {
+		return fmt.Errorf("pfs: remove %s: no such file", name)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// List returns the names of all files, sorted.
+func (fs *FileSystem) List() []string {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	names := make([]string, 0, len(fs.files))
+	for n := range fs.files {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// File is a handle to a stored file.
+type File struct {
+	fs   *FileSystem
+	name string
+	fd   *fileData
+}
+
+// Name returns the file's name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the current file length in bytes.
+func (f *File) Size() int64 {
+	f.fd.mu.Lock()
+	defer f.fd.mu.Unlock()
+	return int64(len(f.fd.data))
+}
+
+// WriteAt stores p at offset off, extending the file as needed, and
+// returns the modeled duration of the request.
+func (f *File) WriteAt(p []byte, off int64) (time.Duration, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pfs: write %s: negative offset %d", f.name, off)
+	}
+	f.fd.mu.Lock()
+	end := off + int64(len(p))
+	if end > int64(len(f.fd.data)) {
+		grown := make([]byte, end)
+		copy(grown, f.fd.data)
+		f.fd.data = grown
+	}
+	copy(f.fd.data[off:end], p)
+	stripes := f.fd.stripes
+	f.fd.mu.Unlock()
+
+	d := f.fs.chargeOp(int64(len(p)), off, stripes, true)
+	return d, nil
+}
+
+// Append stores p at the end of the file and returns (offset, duration).
+func (f *File) Append(p []byte) (int64, time.Duration, error) {
+	f.fd.mu.Lock()
+	off := int64(len(f.fd.data))
+	f.fd.data = append(f.fd.data, p...)
+	stripes := f.fd.stripes
+	f.fd.mu.Unlock()
+	d := f.fs.chargeOp(int64(len(p)), off, stripes, true)
+	return off, d, nil
+}
+
+// ReadAt fills p from offset off and returns the modeled duration.
+// Reading past the end of the file is an error.
+func (f *File) ReadAt(p []byte, off int64) (time.Duration, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("pfs: read %s: negative offset %d", f.name, off)
+	}
+	f.fd.mu.Lock()
+	if off+int64(len(p)) > int64(len(f.fd.data)) {
+		sz := len(f.fd.data)
+		f.fd.mu.Unlock()
+		return 0, fmt.Errorf("pfs: read %s: [%d:%d) beyond size %d", f.name, off, off+int64(len(p)), sz)
+	}
+	copy(p, f.fd.data[off:off+int64(len(p))])
+	stripes := f.fd.stripes
+	f.fd.mu.Unlock()
+
+	d := f.fs.chargeOp(int64(len(p)), off, stripes, false)
+	return d, nil
+}
+
+// chargeOp computes the modeled duration of one request and updates stats.
+//
+// Model: the request touches up to `stripes` OSTs (fewer if it spans fewer
+// stripe units), giving a peak bandwidth of touched*OSTBandwidth. That
+// bandwidth is shared with the other in-flight internal requests and with
+// the injected external load, proportionally. A log-normal multiplier adds
+// the shared-machine variability the paper observes.
+func (fs *FileSystem) chargeOp(size, off int64, stripes int, write bool) time.Duration {
+	fs.mu.Lock()
+	fs.active++
+	sharers := float64(fs.active) + fs.external
+	noise := 1.0
+	if fs.cfg.VarSigma > 0 {
+		noise = math.Exp(fs.rng.NormFloat64() * fs.cfg.VarSigma)
+	}
+	fs.mu.Unlock()
+
+	touched := int((off+size-1)/fs.cfg.StripeSize - off/fs.cfg.StripeSize + 1)
+	if size == 0 {
+		touched = 1
+	}
+	if touched > stripes {
+		touched = stripes
+	}
+	bw := float64(touched) * fs.cfg.OSTBandwidth
+	if sharers > float64(touched) {
+		// More sharers than lanes: proportional slowdown.
+		bw *= float64(touched) / sharers
+	}
+	d := fs.cfg.OpLatency + time.Duration(float64(size)/bw*noise*float64(time.Second))
+
+	fs.mu.Lock()
+	fs.active--
+	if write {
+		fs.stats.BytesWritten += size
+		fs.stats.WriteOps++
+		fs.stats.ModeledWriteTime += d
+	} else {
+		fs.stats.BytesRead += size
+		fs.stats.ReadOps++
+		fs.stats.ModeledReadTime += d
+	}
+	fs.mu.Unlock()
+	return d
+}

@@ -1,0 +1,181 @@
+package predata
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"predata/internal/fabric"
+	"predata/internal/mpi"
+	"predata/internal/staging"
+)
+
+// PipelineConfig describes a complete compute + staging job sharing one
+// fabric, the configuration the paper's experiments run: N compute ranks
+// producing dumps, M staging ranks consuming them.
+type PipelineConfig struct {
+	NumCompute int
+	NumStaging int
+	// Dumps is the number of I/O dumps each compute rank performs; the
+	// staging area serves the same count. Timesteps are 0..Dumps-1.
+	Dumps int
+	// Fabric configures the interconnect; Endpoints is overridden to
+	// NumCompute+NumStaging. Zero value selects DefaultConfig.
+	Fabric fabric.Config
+	// Engine configures the staging engine.
+	Engine staging.Config
+	// Route, Transform, PartialCalculate, Aggregate plug the usual hooks.
+	Route            RouteFunc
+	Transform        TransformFunc
+	PartialCalculate PartialFunc
+	Aggregate        AggregateFunc
+	// PullConcurrency bounds in-flight pulls per staging rank.
+	PullConcurrency int
+	// ChunkOrder customizes each staging rank's chunk stream order.
+	ChunkOrder func(a, b FetchRequest) bool
+	// ChunkFilter drops chunks before they reach any operator.
+	ChunkFilter func(*staging.Chunk) bool
+	// Timeout aborts the pipeline if it has not completed in time by
+	// shutting the fabric down; ranks blocked on fabric operations fail
+	// fast and the abort cascades through the message-passing layer.
+	// Zero disables the watchdog. (A rank blocked purely in application
+	// code that never touches the fabric cannot be interrupted.)
+	Timeout time.Duration
+}
+
+// ComputeFunc runs the application on one compute rank. comm spans only
+// the compute ranks; client performs PreDatA writes.
+type ComputeFunc func(comm *mpi.Comm, client *Client) error
+
+// OperatorFactory returns a fresh operator list for one dump. It is called
+// once per dump per staging rank, so operators may carry per-dump state.
+type OperatorFactory func(dump int) []staging.Operator
+
+// PipelineResult collects the outcome of a pipeline run.
+type PipelineResult struct {
+	// StagingResults[rank][dump] is each staging rank's per-dump result.
+	StagingResults [][]*staging.Result
+	// StagingStats[rank][dump] mirrors StagingResults with cost stats.
+	StagingStats [][]*DumpStats
+	// ClientVisible[rank] is each compute rank's accumulated visible I/O
+	// time over all dumps.
+	ClientVisible []float64
+}
+
+// RunPipeline executes computeFn on NumCompute ranks and the staging
+// servers on NumStaging ranks, all within one message-passing world wired
+// to one fabric: ranks [0, NumCompute) are compute, the rest staging.
+func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFactory) (*PipelineResult, error) {
+	if cfg.NumCompute < 1 || cfg.NumStaging < 1 {
+		return nil, fmt.Errorf("predata: pipeline sizes compute=%d staging=%d must be >= 1",
+			cfg.NumCompute, cfg.NumStaging)
+	}
+	if cfg.Dumps < 0 {
+		return nil, fmt.Errorf("predata: negative dump count %d", cfg.Dumps)
+	}
+	total := cfg.NumCompute + cfg.NumStaging
+	fcfg := cfg.Fabric
+	if fcfg.LinkBandwidth == 0 {
+		fcfg = fabric.DefaultConfig(total)
+	}
+	fcfg.Endpoints = total
+	fab, err := fabric.New(fcfg)
+	if err != nil {
+		return nil, err
+	}
+	defer fab.Shutdown()
+	var timedOut atomic.Bool
+	if cfg.Timeout > 0 {
+		watchdog := time.AfterFunc(cfg.Timeout, func() {
+			timedOut.Store(true)
+			fab.Shutdown()
+		})
+		defer watchdog.Stop()
+	}
+
+	res := &PipelineResult{
+		StagingResults: make([][]*staging.Result, cfg.NumStaging),
+		StagingStats:   make([][]*DumpStats, cfg.NumStaging),
+		ClientVisible:  make([]float64, cfg.NumCompute),
+	}
+
+	err = mpi.Run(total, func(world *mpi.Comm) (rankErr error) {
+		// A failed rank must not leave peers blocked on the fabric: shut
+		// the fabric down so pending RecvCtl/Pull calls fail fast (the
+		// message-passing side aborts via mpi.Run's own error handling).
+		defer func() {
+			if rankErr != nil {
+				fab.Shutdown()
+			}
+		}()
+		isCompute := world.Rank() < cfg.NumCompute
+		color := 0
+		if !isCompute {
+			color = 1
+		}
+		comm, err := world.Split(color, world.Rank())
+		if err != nil {
+			return err
+		}
+		ep, err := fab.Endpoint(world.Rank())
+		if err != nil {
+			return err
+		}
+		if isCompute {
+			client, err := NewClient(ClientConfig{
+				WriterRank:       comm.Rank(),
+				NumCompute:       cfg.NumCompute,
+				NumStaging:       cfg.NumStaging,
+				Endpoint:         ep,
+				StagingBase:      cfg.NumCompute,
+				Route:            cfg.Route,
+				Transform:        cfg.Transform,
+				PartialCalculate: cfg.PartialCalculate,
+			})
+			if err != nil {
+				return err
+			}
+			if err := computeFn(comm, client); err != nil {
+				return fmt.Errorf("compute rank %d: %w", comm.Rank(), err)
+			}
+			res.ClientVisible[comm.Rank()] = client.VisibleTime.Seconds()
+			return nil
+		}
+		server, err := NewServer(ServerConfig{
+			StagingIndex:    comm.Rank(),
+			Comm:            comm,
+			Endpoint:        ep,
+			NumCompute:      cfg.NumCompute,
+			Route:           cfg.Route,
+			Aggregate:       cfg.Aggregate,
+			Engine:          staging.NewEngine(cfg.Engine),
+			PullConcurrency: cfg.PullConcurrency,
+			ChunkOrder:      cfg.ChunkOrder,
+			ChunkFilter:     cfg.ChunkFilter,
+		})
+		if err != nil {
+			return err
+		}
+		results := make([]*staging.Result, 0, cfg.Dumps)
+		stats := make([]*DumpStats, 0, cfg.Dumps)
+		for dump := 0; dump < cfg.Dumps; dump++ {
+			r, st, err := server.ServeDump(int64(dump), opsFor(dump))
+			if err != nil {
+				return fmt.Errorf("staging rank %d dump %d: %w", comm.Rank(), dump, err)
+			}
+			results = append(results, r)
+			stats = append(stats, st)
+		}
+		res.StagingResults[comm.Rank()] = results
+		res.StagingStats[comm.Rank()] = stats
+		return nil
+	})
+	if err != nil {
+		if timedOut.Load() {
+			err = errors.Join(fmt.Errorf("predata: pipeline timed out after %v", cfg.Timeout), err)
+		}
+		return nil, errors.Join(errors.New("predata: pipeline failed"), err)
+	}
+	return res, nil
+}

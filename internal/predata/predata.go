@@ -1,0 +1,478 @@
+// Package predata is the core PreDatA middleware: it wires the compute-node
+// runtime (Stage 1 of the paper's data flow) to the staging-area runtime
+// (Stages 2–4) over the fabric.
+//
+// Compute side (Client): when the application performs I/O, the client runs
+// the optional PartialCalculate first pass on the local output, packs the
+// output into a contiguous FFS buffer (the packed partial data chunk),
+// exposes it for RDMA pull, and sends a data-fetch request — with the small
+// partial result piggybacked — to the staging node chosen by Route. The
+// application then resumes computation; only packing and request dispatch
+// are visible I/O time.
+//
+// Staging side (Server): each staging rank gathers fetch requests from the
+// compute ranks it serves, exchanges the piggybacked partials across the
+// staging area, applies the user Aggregate function (global sizes, offsets,
+// prefix sums, min/max — Stage 2), then pulls and decodes the packed chunks
+// one by one, streaming them through the staging engine (Stages 3–4).
+package predata
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"predata/internal/evpath"
+	"predata/internal/fabric"
+	"predata/internal/ffs"
+	"predata/internal/mpi"
+	"predata/internal/staging"
+)
+
+// FetchRequest is the control message a compute rank sends to its staging
+// rank when a dump's data is ready to pull.
+type FetchRequest struct {
+	Handle     fabric.Handle
+	WriterRank int
+	Timestep   int64
+	Bytes      int
+	Partial    any // result of PartialCalculate, piggybacked on the request
+}
+
+// RankPartial pairs a compute rank with its piggybacked partial result.
+type RankPartial struct {
+	Rank    int
+	Partial any
+}
+
+// RouteFunc chooses the staging index in [0, numStaging) that serves a
+// compute writer rank.
+type RouteFunc func(writerRank, numCompute, numStaging int) int
+
+// DefaultRoute assigns contiguous blocks of compute ranks to staging ranks
+// (the paper's 64:1 / 128:1 server arrangement).
+func DefaultRoute(writerRank, numCompute, numStaging int) int {
+	if numStaging <= 0 {
+		return 0
+	}
+	idx := writerRank * numStaging / numCompute
+	if idx >= numStaging {
+		idx = numStaging - 1
+	}
+	return idx
+}
+
+// PartialFunc is the compute-node first pass: a local, deterministic
+// operation on the output data whose (small) result rides on the fetch
+// request. Examples: local min/max, local array dimensions.
+type PartialFunc func(schema *ffs.Schema, rec ffs.Record) (any, error)
+
+// TransformFunc is an optional compute-node local processing pass applied
+// to the output before packing — the paper's Stage-1a "filtering out
+// undesired regions" use case. It may return a modified record (and
+// schema) whose volume is smaller than the input's.
+type TransformFunc func(schema *ffs.Schema, rec ffs.Record) (*ffs.Schema, ffs.Record, error)
+
+// AggregateFunc combines the partial results of all compute ranks into the
+// aggregated values handed to every operator's Initialize.
+type AggregateFunc func(partials []RankPartial) map[string]any
+
+// ClientConfig configures the compute-side runtime of one rank.
+type ClientConfig struct {
+	// WriterRank is this compute process's rank in the compute job.
+	WriterRank int
+	// NumCompute and NumStaging size the job.
+	NumCompute int
+	NumStaging int
+	// Endpoint is this compute node's fabric attachment.
+	Endpoint *fabric.Endpoint
+	// StagingBase is the fabric endpoint id of staging index 0; staging
+	// index i lives at endpoint StagingBase+i. The conventional layout
+	// puts compute at endpoints [0, NumCompute) and staging immediately
+	// after, so StagingBase == NumCompute.
+	StagingBase int
+	// Route overrides the compute→staging assignment. Nil selects
+	// DefaultRoute.
+	Route RouteFunc
+	// Transform is the optional Stage-1a local processing pass (e.g.
+	// filtering), applied before PartialCalculate and packing.
+	Transform TransformFunc
+	// PartialCalculate is the optional Stage-1a local pass whose small
+	// result piggybacks on the fetch request.
+	PartialCalculate PartialFunc
+}
+
+// Client is the PreDatA runtime inside one compute process.
+type Client struct {
+	cfg ClientConfig
+	// VisibleTime accumulates the I/O time visible to the simulation:
+	// partial calculation + packing + request dispatch.
+	VisibleTime time.Duration
+	// PackedBytes accumulates the bytes exposed for pulling.
+	PackedBytes int64
+}
+
+// NewClient validates the configuration and returns a client.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Endpoint == nil {
+		return nil, fmt.Errorf("predata: client needs a fabric endpoint")
+	}
+	if cfg.NumCompute < 1 || cfg.NumStaging < 1 {
+		return nil, fmt.Errorf("predata: job sizes compute=%d staging=%d must be >= 1",
+			cfg.NumCompute, cfg.NumStaging)
+	}
+	if cfg.WriterRank < 0 || cfg.WriterRank >= cfg.NumCompute {
+		return nil, fmt.Errorf("predata: writer rank %d outside [0,%d)", cfg.WriterRank, cfg.NumCompute)
+	}
+	if cfg.Route == nil {
+		cfg.Route = DefaultRoute
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// reserved field names added to every packed chunk.
+const (
+	fieldRank     = "_rank"
+	fieldTimestep = "_timestep"
+)
+
+// Write performs the PreDatA output path for one dump: Stage 1a (partial
+// calculate), 1b (pack), 1c (route + fetch request). It returns the
+// visible I/O duration; the data movement itself happens later, when the
+// staging server pulls the exposed buffer.
+//
+// Contract: a client performs exactly one Write per timestep, with
+// timesteps increasing — the staging server counts one fetch request per
+// served rank per dump. Applications with several output groups bundle
+// them into one record (as the GTC proxy does with its two species).
+func (c *Client) Write(schema *ffs.Schema, rec ffs.Record, timestep int64) (time.Duration, error) {
+	start := time.Now()
+	if c.cfg.Transform != nil {
+		var err error
+		schema, rec, err = c.cfg.Transform(schema, rec)
+		if err != nil {
+			return 0, fmt.Errorf("predata: Transform: %w", err)
+		}
+	}
+	var partial any
+	if c.cfg.PartialCalculate != nil {
+		p, err := c.cfg.PartialCalculate(schema, rec)
+		if err != nil {
+			return 0, fmt.Errorf("predata: PartialCalculate: %w", err)
+		}
+		partial = p
+	}
+	packed := &ffs.Schema{
+		Name: schema.Name,
+		Fields: append([]ffs.Field{
+			{Name: fieldRank, Kind: ffs.KindInt64},
+			{Name: fieldTimestep, Kind: ffs.KindInt64},
+		}, schema.Fields...),
+	}
+	full := make(ffs.Record, len(rec)+2)
+	for k, v := range rec {
+		full[k] = v
+	}
+	full[fieldRank] = int64(c.cfg.WriterRank)
+	full[fieldTimestep] = timestep
+	buf, err := ffs.Encode(packed, full)
+	if err != nil {
+		return 0, fmt.Errorf("predata: pack: %w", err)
+	}
+	h := c.cfg.Endpoint.Expose(buf)
+	dst := c.cfg.StagingBase + c.cfg.Route(c.cfg.WriterRank, c.cfg.NumCompute, c.cfg.NumStaging)
+	req := FetchRequest{
+		Handle:     h,
+		WriterRank: c.cfg.WriterRank,
+		Timestep:   timestep,
+		Bytes:      len(buf),
+	}
+	req.Partial = partial
+	if err := c.cfg.Endpoint.SendCtl(dst, req); err != nil {
+		return 0, fmt.Errorf("predata: fetch request: %w", err)
+	}
+	visible := time.Since(start)
+	c.VisibleTime += visible
+	c.PackedBytes += int64(len(buf))
+	return visible, nil
+}
+
+// ServerConfig configures one staging rank's runtime.
+type ServerConfig struct {
+	// StagingIndex is this rank's index within the staging area.
+	StagingIndex int
+	// Comm is the communicator over the staging ranks (the staging area
+	// runs as its own message-passing program).
+	Comm *mpi.Comm
+	// Endpoint is this staging node's fabric attachment.
+	Endpoint *fabric.Endpoint
+	// NumCompute is the size of the compute job.
+	NumCompute int
+	// Route must match the clients' route function. Nil selects
+	// DefaultRoute.
+	Route RouteFunc
+	// Aggregate combines piggybacked partials from *all* compute ranks;
+	// nil yields nil aggregates.
+	Aggregate AggregateFunc
+	// Engine executes the operators; nil selects a single-worker engine.
+	Engine *staging.Engine
+	// PullConcurrency is the number of chunks pulled in flight at once.
+	// Values < 1 mean 1 (strict streaming).
+	PullConcurrency int
+	// ChunkOrder customizes the order in which this rank pulls and
+	// streams chunks ("place the data chunks present within the data
+	// stream into some desired order to ease implementing data analysis
+	// services"). Nil orders by ascending writer rank. With
+	// PullConcurrency > 1 the order determines pull issue order, not
+	// strict delivery order.
+	ChunkOrder func(a, b FetchRequest) bool
+	// ChunkFilter, when non-nil, drops chunks for which it returns false
+	// before they reach any operator. It runs on the event-stream path
+	// (an evpath filter stone), so dropped chunks cost no Map work.
+	ChunkFilter func(*staging.Chunk) bool
+}
+
+// DumpStats reports the staging-side cost of one dump on one rank.
+type DumpStats struct {
+	// Requests is the number of fetch requests this rank consumed.
+	Requests int
+	// BytesPulled is the packed-chunk volume moved to this rank.
+	BytesPulled int64
+	// PullModeled is the modeled network time of this rank's pulls.
+	PullModeled time.Duration
+	// ChunksFiltered counts chunks dropped by the ChunkFilter stone.
+	ChunksFiltered int
+	// Wall phases.
+	GatherWall    time.Duration
+	AggregateWall time.Duration
+	ProcessWall   time.Duration
+}
+
+// Server is the PreDatA runtime inside one staging process.
+type Server struct {
+	cfg    ServerConfig
+	served []int // compute ranks this staging index serves, ascending
+	// pending buffers fetch requests that arrived for future timesteps.
+	pending map[int64][]FetchRequest
+}
+
+// NewServer validates the configuration and returns a server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Endpoint == nil || cfg.Comm == nil {
+		return nil, fmt.Errorf("predata: server needs a fabric endpoint and a staging communicator")
+	}
+	if cfg.NumCompute < 1 {
+		return nil, fmt.Errorf("predata: NumCompute %d must be >= 1", cfg.NumCompute)
+	}
+	if cfg.Route == nil {
+		cfg.Route = DefaultRoute
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = staging.NewEngine(staging.Config{})
+	}
+	if cfg.PullConcurrency < 1 {
+		cfg.PullConcurrency = 1
+	}
+	s := &Server{cfg: cfg, pending: make(map[int64][]FetchRequest)}
+	for r := 0; r < cfg.NumCompute; r++ {
+		if cfg.Route(r, cfg.NumCompute, cfg.Comm.Size()) == cfg.StagingIndex {
+			s.served = append(s.served, r)
+		}
+	}
+	sort.Ints(s.served)
+	return s, nil
+}
+
+// Served returns the compute ranks this staging rank serves.
+func (s *Server) Served() []int { return append([]int(nil), s.served...) }
+
+// ServeDump processes one I/O dump: gather requests, aggregate partials,
+// pull + decode + stream chunks through the engine. All staging ranks must
+// call ServeDump collectively with the same timestep and operator list.
+func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Result, *DumpStats, error) {
+	stats := &DumpStats{}
+
+	// Stage 2a: gather fetch requests from every served compute rank.
+	start := time.Now()
+	reqs := s.pending[timestep]
+	delete(s.pending, timestep)
+	for len(reqs) < len(s.served) {
+		_, data, err := s.cfg.Endpoint.RecvCtl()
+		if err != nil {
+			return nil, nil, fmt.Errorf("predata: gathering fetch requests: %w", err)
+		}
+		req, ok := data.(FetchRequest)
+		if !ok {
+			return nil, nil, fmt.Errorf("predata: unexpected control message %T", data)
+		}
+		if req.Timestep == timestep {
+			reqs = append(reqs, req)
+			continue
+		}
+		s.pending[req.Timestep] = append(s.pending[req.Timestep], req)
+		// Clients send dump requests in timestep order and the fabric
+		// preserves per-sender ordering, so a *complete* dump buffered for
+		// another timestep means the requested one will never arrive:
+		// fail fast instead of deadlocking the staging area.
+		if len(s.pending[req.Timestep]) >= len(s.served) {
+			return nil, nil, fmt.Errorf(
+				"predata: ServeDump(%d) but all %d served ranks sent timestep %d",
+				timestep, len(s.served), req.Timestep)
+		}
+	}
+	stats.Requests = len(reqs)
+	stats.GatherWall = time.Since(start)
+
+	// Stage 2b: exchange piggybacked partials across the staging area and
+	// aggregate them globally.
+	start = time.Now()
+	local := make([]RankPartial, len(reqs))
+	for i, r := range reqs {
+		local[i] = RankPartial{Rank: r.WriterRank, Partial: r.Partial}
+	}
+	all, err := mpi.Allgather(s.cfg.Comm, local)
+	if err != nil {
+		return nil, nil, fmt.Errorf("predata: partial exchange: %w", err)
+	}
+	var agg map[string]any
+	if s.cfg.Aggregate != nil {
+		var flat []RankPartial
+		for _, row := range all {
+			flat = append(flat, row...)
+		}
+		sort.Slice(flat, func(i, j int) bool { return flat[i].Rank < flat[j].Rank })
+		agg = s.cfg.Aggregate(flat)
+	}
+	stats.AggregateWall = time.Since(start)
+
+	// Stages 3+4: pull chunks (bounded concurrency) and stream them
+	// through the engine. Pulls run in a producer pool so that network
+	// movement overlaps Map execution, as on the real machine.
+	start = time.Now()
+	order := s.cfg.ChunkOrder
+	if order == nil {
+		order = func(a, b FetchRequest) bool { return a.WriterRank < b.WriterRank }
+	}
+	sort.Slice(reqs, func(i, j int) bool { return order(reqs[i], reqs[j]) })
+	chunks := make(chan *staging.Chunk, s.cfg.PullConcurrency)
+
+	// Pulled buffers flow through an event-stream graph before reaching
+	// the engine: decode stone -> optional filter stone -> terminal stone
+	// feeding the engine's channel. The stones' bounded queues propagate
+	// backpressure from a slow engine all the way to the pull workers.
+	mgr := evpath.NewManager()
+	terminal, err := mgr.NewTerminalStone(func(e *evpath.Event) error {
+		chunks <- e.Data.(*staging.Chunk)
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	head := terminal
+	var filterStone *evpath.Stone
+	if s.cfg.ChunkFilter != nil {
+		filterStone, err = mgr.NewFilterStone(func(e *evpath.Event) bool {
+			return s.cfg.ChunkFilter(e.Data.(*staging.Chunk))
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := filterStone.LinkTo(terminal); err != nil {
+			return nil, nil, err
+		}
+		head = filterStone
+	}
+	decode, err := mgr.NewTransformStone(func(e *evpath.Event) (*evpath.Event, error) {
+		chunk, err := staging.DecodeChunk(e.Data.([]byte))
+		if err != nil {
+			return nil, fmt.Errorf("predata: decode chunk from rank %d: %w",
+				int(e.Attrs["writer"]), err)
+		}
+		return &evpath.Event{Attrs: e.Attrs, Data: chunk}, nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := decode.LinkTo(head); err != nil {
+		return nil, nil, err
+	}
+
+	var (
+		prodWG  sync.WaitGroup
+		pullMu  sync.Mutex
+		pullErr error
+	)
+	reqCh := make(chan FetchRequest)
+	for w := 0; w < s.cfg.PullConcurrency; w++ {
+		prodWG.Add(1)
+		go func() {
+			defer prodWG.Done()
+			for req := range reqCh {
+				pullMu.Lock()
+				failed := pullErr != nil
+				pullMu.Unlock()
+				if failed {
+					continue // drain remaining requests without pulling
+				}
+				buf, d, err := s.cfg.Endpoint.Pull(req.Handle)
+				if err != nil {
+					s.recordPullErr(&pullMu, &pullErr,
+						fmt.Errorf("predata: pull from rank %d: %w", req.WriterRank, err))
+					continue
+				}
+				pullMu.Lock()
+				stats.BytesPulled += int64(len(buf))
+				stats.PullModeled += d
+				pullMu.Unlock()
+				err = decode.Submit(&evpath.Event{
+					Attrs: map[string]int64{"writer": int64(req.WriterRank), "timestep": req.Timestep},
+					Data:  buf,
+				})
+				if err != nil {
+					s.recordPullErr(&pullMu, &pullErr, err)
+				}
+			}
+		}()
+	}
+	go func() {
+		for _, r := range reqs {
+			reqCh <- r
+		}
+		close(reqCh)
+	}()
+	go func() {
+		prodWG.Wait()
+		// Drain the stone graph, then release the engine.
+		if err := mgr.Close(); err != nil {
+			s.recordPullErr(&pullMu, &pullErr, err)
+		}
+		if filterStone != nil {
+			pullMu.Lock()
+			stats.ChunksFiltered = int(filterStone.Stats().Dropped)
+			pullMu.Unlock()
+		}
+		close(chunks)
+	}()
+	res, err := s.cfg.Engine.ProcessDump(s.cfg.Comm, chunks, ops, agg)
+	// ProcessDump returns only after the chunks channel is closed, so the
+	// producer pool and the stone graph are done and stats/pullErr are
+	// stable.
+	stats.ProcessWall = time.Since(start)
+	if pullErr != nil {
+		return nil, stats, pullErr
+	}
+	if err != nil {
+		return nil, stats, err
+	}
+	return res, stats, nil
+}
+
+// recordPullErr stores the first pull failure.
+func (s *Server) recordPullErr(mu *sync.Mutex, slot *error, err error) {
+	mu.Lock()
+	defer mu.Unlock()
+	if *slot == nil {
+		*slot = err
+	}
+}

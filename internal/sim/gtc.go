@@ -1,0 +1,269 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+)
+
+// GTCParams calibrates the event-level GTC simulation. Defaults mirror
+// the analytic model's Jaguar description (package model); the DES does
+// not reuse its formulas — contention and interference *emerge* from jobs
+// sharing resources — so agreement between the two is a genuine
+// cross-check.
+type GTCParams struct {
+	Cores int
+	Dumps int
+	// ComputeSeconds and CommSeconds split the 120 s main loop into
+	// pure-CPU time and collective-communication time. The loop
+	// interleaves them in LoopSegments alternating slices, as GTC's
+	// inner loop interleaves computation with collectives — that is what
+	// staging pulls can collide with.
+	ComputeSeconds float64
+	CommSeconds    float64
+	LoopSegments   int
+	// LinkSharePerProc is each process's network share when every process
+	// communicates at once (bytes/s); the interconnect resource capacity
+	// is procs x this.
+	LinkSharePerProc float64
+	// BytesPerProc is the dump volume per compute process.
+	BytesPerProc float64
+	// PFSCapacity is the saturated file-system bandwidth.
+	PFSCapacity float64
+	// ComputePerStagingProc is the compute processes served per staging
+	// process; PullStreams is each staging process's pull concurrency.
+	ComputePerStagingProc int
+	PullStreams           int
+	// SortLocalSeconds and HistSeconds are the per-process in-compute
+	// operator costs besides communication; HistWriteSeconds is the
+	// typical noisy result-file write.
+	SortLocalSeconds float64
+	HistSeconds      float64
+	HistWriteSeconds float64
+	// PackSeconds is the staging configuration's visible pack+request time.
+	PackSeconds float64
+	// StagingRate is one staging process's processing rate (bytes/s) for
+	// the in-transit operator work.
+	StagingRate float64
+	// PullBWPerProc caps one staging process's aggregate pull bandwidth
+	// (bytes/s) — the endpoint NIC limit that stretches fetches to the
+	// paper's ~20 s and makes them overlap the loop's collectives.
+	PullBWPerProc float64
+}
+
+// DefaultGTCParams returns the calibrated defaults for a core count.
+func DefaultGTCParams(cores int) GTCParams {
+	return GTCParams{
+		Cores:                 cores,
+		Dumps:                 15,
+		ComputeSeconds:        96,
+		CommSeconds:           24,
+		LoopSegments:          10,
+		LinkSharePerProc:      0.5e9,
+		BytesPerProc:          132e6,
+		PFSCapacity:           30e9,
+		ComputePerStagingProc: 32,
+		PullStreams:           4,
+		SortLocalSeconds:      0.25,
+		HistSeconds:           0.5,
+		HistWriteSeconds:      3.0, // two histogram result files
+		PackSeconds:           0.3,
+		StagingRate:           300e6,
+		PullBWPerProc:         210e6,
+	}
+}
+
+// GTCOutcome aggregates one simulated run.
+type GTCOutcome struct {
+	Cores int
+	Dumps int
+	// TotalSeconds is the simulated wall time of the whole run.
+	TotalSeconds float64
+	// MainLoopSeconds sums compute + communication phases.
+	MainLoopSeconds float64
+	// IOBlockingSeconds sums the visible write (IC) or pack (ST) time.
+	IOBlockingSeconds float64
+	// OpsVisibleSeconds sums visible operator time (zero when staged).
+	OpsVisibleSeconds float64
+	// InterferenceSeconds is the communication-phase stretch beyond its
+	// uncontended duration, summed over dumps — nonzero only when staging
+	// pulls overlap the collectives.
+	InterferenceSeconds float64
+	// StagingLagSeconds is the worst observed gap between a dump's pack
+	// and its staging-side processing completion (staged runs only).
+	StagingLagSeconds float64
+}
+
+// procsOf maps cores to MPI processes (8-core nodes, one process each).
+func procsOf(cores int) int {
+	p := cores / 8
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// SimulateGTC runs the event-level GTC model in the chosen configuration.
+func SimulateGTC(p GTCParams, staged bool) (GTCOutcome, error) {
+	if p.Cores < 8 {
+		return GTCOutcome{}, fmt.Errorf("sim: cores %d below one node", p.Cores)
+	}
+	if p.Dumps < 1 {
+		return GTCOutcome{}, fmt.Errorf("sim: dumps %d must be >= 1", p.Dumps)
+	}
+	procs := procsOf(p.Cores)
+	sProcs := procs / p.ComputePerStagingProc
+	if sProcs < 1 {
+		sProcs = 1
+	}
+	k := NewKernel()
+	net, err := NewResource(k, "interconnect", float64(procs)*p.LinkSharePerProc)
+	if err != nil {
+		return GTCOutcome{}, err
+	}
+	pfs, err := NewResource(k, "pfs", p.PFSCapacity)
+	if err != nil {
+		return GTCOutcome{}, err
+	}
+	stagingCPU, err := NewResource(k, "staging-cpu", float64(sProcs)*p.StagingRate)
+	if err != nil {
+		return GTCOutcome{}, err
+	}
+
+	out := GTCOutcome{Cores: p.Cores, Dumps: p.Dumps}
+	commJob := p.CommSeconds * p.LinkSharePerProc
+	perStag := p.BytesPerProc * float64(procs) / float64(sProcs)
+
+	var startDump func(d int)
+
+	// phase runs `n` equal jobs on r as one group and calls next when all
+	// complete.
+	phase := func(r *Resource, n int, size float64, next func(started float64)) {
+		started := k.Now()
+		err := r.SubmitGroup(n, size, func(at float64) {
+			next(started)
+		})
+		if err != nil {
+			panic(fmt.Sprintf("sim: %v", err)) // sizes validated non-negative
+		}
+	}
+
+	segments := p.LoopSegments
+	if segments < 1 {
+		segments = 1
+	}
+	segCompute := p.ComputeSeconds / float64(segments)
+	segComm := p.CommSeconds / float64(segments)
+	segCommJob := commJob / float64(segments)
+
+	// afterLoop runs the dump's I/O once all main-loop segments finish.
+	var runSegment func(d, seg int)
+	var afterLoop func(d int)
+
+	runSegment = func(d, seg int) {
+		if seg >= segments {
+			afterLoop(d)
+			return
+		}
+		computeStart := k.Now()
+		_, err := k.After(segCompute, func() {
+			out.MainLoopSeconds += k.Now() - computeStart
+			// Collective slice: every process communicates on the shared
+			// interconnect. Staging pulls from the previous dump may
+			// still be in flight here — the interference.
+			phase(net, procs, segCommJob, func(commStart float64) {
+				dur := k.Now() - commStart
+				out.MainLoopSeconds += dur
+				out.InterferenceSeconds += math.Max(0, dur-segComm)
+				runSegment(d, seg+1)
+			})
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+
+	startDump = func(d int) {
+		if d >= p.Dumps {
+			out.TotalSeconds = k.Now()
+			return
+		}
+		runSegment(d, 0)
+	}
+
+	afterLoop = func(d int) {
+		if !staged {
+			// Synchronous write, then visible operators.
+			phase(pfs, procs, p.BytesPerProc, func(wStart float64) {
+				out.IOBlockingSeconds += k.Now() - wStart
+				// Sort: all-to-all on the interconnect plus local CPU.
+				phase(net, procs, p.BytesPerProc, func(sStart float64) {
+					opsStart := sStart
+					_, err := k.After(p.SortLocalSeconds+p.HistSeconds, func() {
+						// Histogram result files on the noisy FS.
+						phase(pfs, 2, 8e6, func(hStart float64) {
+							// Charge the typical observed write time, not the
+							// bandwidth term (8 MB is latency-dominated).
+							_, err := k.After(p.HistWriteSeconds, func() {
+								out.OpsVisibleSeconds += k.Now() - opsStart
+								startDump(d + 1)
+							})
+							if err != nil {
+								panic(err)
+							}
+						})
+					})
+					if err != nil {
+						panic(err)
+					}
+				})
+			})
+			return
+		}
+		// Staged: visible pack only, then the staging area pulls
+		// asynchronously while the next dump's loop runs.
+		_, err := k.After(p.PackSeconds, func() {
+			out.IOBlockingSeconds += p.PackSeconds
+			packAt := k.Now()
+			pulls := sProcs * p.PullStreams
+			streamBytes := perStag / float64(p.PullStreams)
+			streamCap := p.PullBWPerProc / float64(p.PullStreams)
+			err := net.SubmitGroupCapped(pulls, streamBytes, streamCap, func(at float64) {
+				// All chunks on staging nodes: process them.
+				phase(stagingCPU, sProcs, perStag, func(float64) {
+					lag := k.Now() - packAt
+					if lag > out.StagingLagSeconds {
+						out.StagingLagSeconds = lag
+					}
+				})
+			})
+			if err != nil {
+				panic(err)
+			}
+			startDump(d + 1)
+		})
+		if err != nil {
+			panic(err)
+		}
+	}
+	startDump(0)
+	k.Run(0)
+	if out.TotalSeconds == 0 {
+		out.TotalSeconds = k.Now()
+	}
+	return out, nil
+}
+
+// CompareConfigurations simulates both configurations and returns the
+// staging configuration's improvement percentage, mirroring Fig. 8(a).
+func CompareConfigurations(p GTCParams) (ic, st GTCOutcome, improvementPct float64, err error) {
+	ic, err = SimulateGTC(p, false)
+	if err != nil {
+		return
+	}
+	st, err = SimulateGTC(p, true)
+	if err != nil {
+		return
+	}
+	improvementPct = 100 * (ic.TotalSeconds - st.TotalSeconds) / ic.TotalSeconds
+	return
+}

@@ -1,0 +1,576 @@
+package staging
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"predata/internal/ffs"
+	"predata/internal/mpi"
+)
+
+// histOp is a toy histogram operator: Map bins a float64 slice field,
+// Reduce sums per-bin counts, Finalize stores the histogram.
+type histOp struct {
+	bins     int
+	min, max float64
+	mu       sync.Mutex
+	final    map[int]int64
+	combines int32
+	useComb  bool
+}
+
+func (h *histOp) Name() string { return "hist" }
+
+func (h *histOp) Initialize(ctx *Context, agg map[string]any) error {
+	h.final = make(map[int]int64)
+	if v, ok := agg["min"].(float64); ok {
+		h.min = v
+	}
+	if v, ok := agg["max"].(float64); ok {
+		h.max = v
+	}
+	return nil
+}
+
+func (h *histOp) Map(ctx *Context, chunk *Chunk) error {
+	vals, ok := chunk.Record["values"].([]float64)
+	if !ok {
+		return fmt.Errorf("chunk has no values field")
+	}
+	for _, v := range vals {
+		bin := int(float64(h.bins) * (v - h.min) / (h.max - h.min))
+		if bin >= h.bins {
+			bin = h.bins - 1
+		}
+		if bin < 0 {
+			bin = 0
+		}
+		ctx.Emit(bin, int64(1))
+	}
+	return nil
+}
+
+func (h *histOp) Combine(tag int, values []any) ([]any, error) {
+	if !h.useComb {
+		return values, nil
+	}
+	atomic.AddInt32(&h.combines, 1)
+	var sum int64
+	for _, v := range values {
+		sum += v.(int64)
+	}
+	return []any{sum}, nil
+}
+
+func (h *histOp) Reduce(ctx *Context, tag int, values []any) error {
+	var sum int64
+	for _, v := range values {
+		sum += v.(int64)
+	}
+	h.mu.Lock()
+	h.final[tag] = sum
+	h.mu.Unlock()
+	return nil
+}
+
+func (h *histOp) Finalize(ctx *Context) error {
+	h.mu.Lock()
+	local := make(map[int]int64, len(h.final))
+	for k, v := range h.final {
+		local[k] = v
+	}
+	h.mu.Unlock()
+	ctx.SetResult("bins", local)
+	return nil
+}
+
+func makeChunk(rank int, values []float64) *Chunk {
+	return &Chunk{
+		WriterRank: rank,
+		Timestep:   1,
+		Schema:     &ffs.Schema{Name: "test"},
+		Record:     ffs.Record{"values": values},
+	}
+}
+
+func feed(chunks []*Chunk) <-chan *Chunk {
+	ch := make(chan *Chunk, len(chunks))
+	for _, c := range chunks {
+		ch <- c
+	}
+	close(ch)
+	return ch
+}
+
+func TestEngineHistogramSingleRank(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		op := &histOp{bins: 4, min: 0, max: 4}
+		eng := NewEngine(Config{Workers: 1})
+		chunks := []*Chunk{
+			makeChunk(0, []float64{0.5, 1.5, 2.5, 3.5}),
+			makeChunk(1, []float64{0.5, 0.7}),
+		}
+		res, err := eng.ProcessDump(c, feed(chunks), []Operator{op}, nil)
+		if err != nil {
+			return err
+		}
+		if res.Chunks != 2 {
+			return fmt.Errorf("chunks %d", res.Chunks)
+		}
+		bins := res.PerOperator["hist"]["bins"].(map[int]int64)
+		want := map[int]int64{0: 3, 1: 1, 2: 1, 3: 1}
+		for k, v := range want {
+			if bins[k] != v {
+				return fmt.Errorf("bin %d = %d want %d (%v)", k, bins[k], v, bins)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEngineHistogramMultiRankPartitioned(t *testing.T) {
+	const ranks = 4
+	// Global totals assembled from all ranks' reduce outputs.
+	var mu sync.Mutex
+	global := make(map[int]int64)
+	err := mpi.Run(ranks, func(c *mpi.Comm) error {
+		op := &histOp{bins: 8, min: 0, max: 8}
+		eng := NewEngine(Config{Workers: 2})
+		// Each rank feeds chunks with values equal to its rank and
+		// rank+4, one per chunk.
+		chunks := []*Chunk{
+			makeChunk(c.Rank(), []float64{float64(c.Rank()) + 0.5}),
+			makeChunk(c.Rank(), []float64{float64(c.Rank()) + 4.5}),
+		}
+		res, err := eng.ProcessDump(c, feed(chunks), []Operator{op}, nil)
+		if err != nil {
+			return err
+		}
+		bins := res.PerOperator["hist"]["bins"].(map[int]int64)
+		// Default partitioner routes tag t to rank t%4: this rank must
+		// only own tags congruent to its rank.
+		for tag := range bins {
+			if tag%ranks != c.Rank() {
+				return fmt.Errorf("rank %d owns tag %d", c.Rank(), tag)
+			}
+		}
+		mu.Lock()
+		for k, v := range bins {
+			global[k] += v
+		}
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bin := 0; bin < 8; bin++ {
+		if global[bin] != 1 {
+			t.Errorf("bin %d = %d want 1 (%v)", bin, global[bin], global)
+		}
+	}
+}
+
+func TestCombinerReducesShuffleVolume(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		op := &histOp{bins: 2, min: 0, max: 2, useComb: true}
+		eng := NewEngine(Config{Workers: 1})
+		var chunks []*Chunk
+		for i := 0; i < 10; i++ {
+			chunks = append(chunks, makeChunk(c.Rank(), []float64{0.5, 1.5}))
+		}
+		res, err := eng.ProcessDump(c, feed(chunks), []Operator{op}, nil)
+		if err != nil {
+			return err
+		}
+		bins := res.PerOperator["hist"]["bins"].(map[int]int64)
+		// Tag 0 on rank 0, tag 1 on rank 1; each bin saw 10 values from
+		// each of 2 ranks.
+		if v, ok := bins[c.Rank()]; ok && v != 20 {
+			return fmt.Errorf("rank %d bin count %d", c.Rank(), v)
+		}
+		if atomic.LoadInt32(&op.combines) == 0 {
+			return errors.New("combiner never invoked")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitializeReceivesAggregates(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		op := &histOp{bins: 2, min: 99, max: 100} // overwritten by agg
+		eng := NewEngine(Config{})
+		agg := map[string]any{"min": 0.0, "max": 2.0}
+		chunks := []*Chunk{makeChunk(0, []float64{0.5, 1.5})}
+		res, err := eng.ProcessDump(c, feed(chunks), []Operator{op}, agg)
+		if err != nil {
+			return err
+		}
+		bins := res.PerOperator["hist"]["bins"].(map[int]int64)
+		if bins[0] != 1 || bins[1] != 1 {
+			return fmt.Errorf("agg not applied: %v", bins)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// failOp fails in a chosen phase.
+type failOp struct{ phase string }
+
+func (f *failOp) Name() string { return "fail" }
+func (f *failOp) Initialize(ctx *Context, agg map[string]any) error {
+	if f.phase == "init" {
+		return errors.New("init boom")
+	}
+	return nil
+}
+func (f *failOp) Map(ctx *Context, chunk *Chunk) error {
+	if f.phase == "map" {
+		return errors.New("map boom")
+	}
+	ctx.Emit(0, 1)
+	return nil
+}
+func (f *failOp) Reduce(ctx *Context, tag int, values []any) error {
+	if f.phase == "reduce" {
+		return errors.New("reduce boom")
+	}
+	return nil
+}
+func (f *failOp) Finalize(ctx *Context) error {
+	if f.phase == "finalize" {
+		return errors.New("finalize boom")
+	}
+	return nil
+}
+
+func TestPhaseErrorsPropagate(t *testing.T) {
+	for _, phase := range []string{"init", "map", "finalize"} {
+		phase := phase
+		t.Run(phase, func(t *testing.T) {
+			err := mpi.Run(2, func(c *mpi.Comm) error {
+				eng := NewEngine(Config{})
+				_, err := eng.ProcessDump(c, feed([]*Chunk{makeChunk(0, nil)}),
+					[]Operator{&failOp{phase: phase}}, nil)
+				if err == nil {
+					return fmt.Errorf("phase %s error not propagated", phase)
+				}
+				if !strings.Contains(err.Error(), "boom") {
+					return fmt.Errorf("unexpected error %v", err)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	// Reduce only fails on the rank owning tag 0; other ranks complete.
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		eng := NewEngine(Config{})
+		_, err := eng.ProcessDump(c, feed([]*Chunk{makeChunk(0, nil)}),
+			[]Operator{&failOp{phase: "reduce"}}, nil)
+		if c.Rank() == 0 {
+			if err == nil || !strings.Contains(err.Error(), "boom") {
+				return fmt.Errorf("rank 0: err = %v", err)
+			}
+		} else if err != nil {
+			return fmt.Errorf("rank 1: unexpected err %v", err)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// customPart routes every tag to rank 0.
+type customPart struct{ histOp }
+
+func (p *customPart) Partition(tag, ranks int) int { return 0 }
+
+func TestCustomPartitioner(t *testing.T) {
+	err := mpi.Run(3, func(c *mpi.Comm) error {
+		op := &customPart{histOp{bins: 6, min: 0, max: 6}}
+		eng := NewEngine(Config{})
+		chunks := []*Chunk{makeChunk(c.Rank(), []float64{float64(c.Rank()*2) + 0.5})}
+		res, err := eng.ProcessDump(c, feed(chunks), []Operator{op}, nil)
+		if err != nil {
+			return err
+		}
+		bins := res.PerOperator["hist"]["bins"].(map[int]int64)
+		if c.Rank() == 0 {
+			if len(bins) != 3 {
+				return fmt.Errorf("rank 0 owns %d tags, want 3 (%v)", len(bins), bins)
+			}
+		} else if len(bins) != 0 {
+			return fmt.Errorf("rank %d owns %d tags", c.Rank(), len(bins))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// badPart returns an out-of-range destination.
+type badPart struct{ histOp }
+
+func (p *badPart) Partition(tag, ranks int) int { return ranks + 5 }
+
+func TestBadPartitionerRejected(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		op := &badPart{histOp{bins: 2, min: 0, max: 2}}
+		eng := NewEngine(Config{})
+		_, err := eng.ProcessDump(c, feed([]*Chunk{makeChunk(0, []float64{0.5})}), []Operator{op}, nil)
+		if err == nil {
+			return errors.New("bad partition accepted")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultipleOperatorsShareStream(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		opA := &histOp{bins: 2, min: 0, max: 2}
+		opB := &histOp{bins: 2, min: 0, max: 2}
+		// Distinct names so results do not collide.
+		eng := NewEngine(Config{Workers: 3})
+		chunks := []*Chunk{
+			makeChunk(c.Rank(), []float64{0.5}),
+			makeChunk(c.Rank(), []float64{1.5}),
+		}
+		res, err := eng.ProcessDump(c, feed(chunks), []Operator{opA, &named{opB, "hist2"}}, nil)
+		if err != nil {
+			return err
+		}
+		if len(res.PerOperator) != 2 {
+			return fmt.Errorf("results for %d operators", len(res.PerOperator))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// named renames an operator.
+type named struct {
+	Operator
+	name string
+}
+
+func (n *named) Name() string { return n.name }
+
+func TestDecodeChunk(t *testing.T) {
+	schema := &ffs.Schema{Name: "g", Fields: []ffs.Field{
+		{Name: "_rank", Kind: ffs.KindInt64},
+		{Name: "_timestep", Kind: ffs.KindInt64},
+		{Name: "x", Kind: ffs.KindFloat64},
+	}}
+	buf, err := ffs.Encode(schema, ffs.Record{"_rank": int64(7), "_timestep": int64(3), "x": 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DecodeChunk(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.WriterRank != 7 || c.Timestep != 3 || c.Record["x"] != 1.5 {
+		t.Fatalf("chunk %+v", c)
+	}
+	// Missing reserved fields.
+	schema2 := &ffs.Schema{Name: "g", Fields: []ffs.Field{{Name: "x", Kind: ffs.KindFloat64}}}
+	buf2, _ := ffs.Encode(schema2, ffs.Record{"x": 1.0})
+	if _, err := DecodeChunk(buf2); err == nil {
+		t.Error("chunk without reserved fields accepted")
+	}
+	if _, err := DecodeChunk([]byte{1, 2}); err == nil {
+		t.Error("garbage chunk accepted")
+	}
+}
+
+func TestOperatorBreakdownAttributed(t *testing.T) {
+	err := mpi.Run(2, func(c *mpi.Comm) error {
+		opA := &histOp{bins: 4, min: 0, max: 4}
+		opB := &named{&histOp{bins: 4, min: 0, max: 4}, "histB"}
+		eng := NewEngine(Config{Workers: 2})
+		chunks := []*Chunk{
+			makeChunk(c.Rank(), []float64{0.5, 1.5, 2.5}),
+			makeChunk(c.Rank(), []float64{3.5}),
+		}
+		res, err := eng.ProcessDump(c, feed(chunks), []Operator{opA, opB}, nil)
+		if err != nil {
+			return err
+		}
+		if len(res.OperatorBreakdown) != 2 {
+			return fmt.Errorf("breakdown for %d operators", len(res.OperatorBreakdown))
+		}
+		for _, name := range []string{"hist", "histB"} {
+			bd, ok := res.OperatorBreakdown[name]
+			if !ok {
+				return fmt.Errorf("no breakdown for %s", name)
+			}
+			// Every operator mapped both chunks.
+			if bd.Get("map") <= 0 {
+				return fmt.Errorf("%s map time %v", name, bd.Get("map"))
+			}
+			// Shuffle time is attributed per operator too.
+			if bd.Get("shuffle") <= 0 {
+				return fmt.Errorf("%s shuffle time %v", name, bd.Get("shuffle"))
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownPopulated(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		op := &histOp{bins: 2, min: 0, max: 2}
+		eng := NewEngine(Config{})
+		res, err := eng.ProcessDump(c, feed([]*Chunk{makeChunk(0, []float64{0.5})}), []Operator{op}, nil)
+		if err != nil {
+			return err
+		}
+		names := res.Breakdown.Names()
+		want := []string{"initialize", "map", "combine", "shuffle", "reduce", "finalize"}
+		if len(names) != len(want) {
+			return fmt.Errorf("breakdown buckets %v", names)
+		}
+		for i := range want {
+			if names[i] != want[i] {
+				return fmt.Errorf("bucket %d = %s want %s", i, names[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHistogramConservationProperty: total count across all bins on all
+// ranks equals total values fed, for random inputs and rank counts.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		ranks := 1 + rng.Intn(4)
+		perRank := 1 + rng.Intn(5)
+		valsPerChunk := rng.Intn(20)
+		var total int64
+		var mu sync.Mutex
+		err := mpi.Run(ranks, func(c *mpi.Comm) error {
+			op := &histOp{bins: 8, min: 0, max: 1}
+			eng := NewEngine(Config{Workers: 1 + c.Rank()%3})
+			var chunks []*Chunk
+			localRng := rand.New(rand.NewSource(seed + int64(c.Rank())))
+			for i := 0; i < perRank; i++ {
+				vals := make([]float64, valsPerChunk)
+				for j := range vals {
+					vals[j] = localRng.Float64()
+				}
+				chunks = append(chunks, makeChunk(c.Rank(), vals))
+			}
+			res, err := eng.ProcessDump(c, feed(chunks), []Operator{op}, nil)
+			if err != nil {
+				return err
+			}
+			bins := res.PerOperator["hist"]["bins"].(map[int]int64)
+			mu.Lock()
+			for _, v := range bins {
+				total += v
+			}
+			mu.Unlock()
+			return nil
+		})
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		return total == int64(ranks*perRank*valsPerChunk)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEngineMapShuffleReduce(b *testing.B) {
+	vals := make([]float64, 10000)
+	for i := range vals {
+		vals[i] = rand.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := mpi.Run(4, func(c *mpi.Comm) error {
+			op := &histOp{bins: 64, min: 0, max: 1, useComb: true}
+			eng := NewEngine(Config{Workers: 2})
+			chunks := []*Chunk{makeChunk(c.Rank(), vals), makeChunk(c.Rank(), vals)}
+			_, err := eng.ProcessDump(c, feed(chunks), []Operator{op}, nil)
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// namedComb renames a histOp while keeping its Combiner implementation
+// promoted (unlike `named`, which wraps the plain Operator interface).
+type namedComb struct {
+	*histOp
+	name string
+}
+
+func (n *namedComb) Name() string { return n.name }
+
+func TestOperatorEmittedCountsShuffleVolume(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		plain := &histOp{bins: 4, min: 0, max: 4}
+		combined := &namedComb{&histOp{bins: 4, min: 0, max: 4, useComb: true}, "histC"}
+		eng := NewEngine(Config{})
+		chunks := []*Chunk{
+			makeChunk(0, []float64{0.5, 1.5, 2.5}),
+			makeChunk(1, []float64{0.5, 1.5, 2.5}),
+		}
+		res, err := eng.ProcessDump(c, feed(chunks), []Operator{plain, combined}, nil)
+		if err != nil {
+			return err
+		}
+		// Without a combiner: one emit per value = 6; with: one per tag = 3.
+		if got := res.OperatorEmitted["hist"]; got != 6 {
+			return fmt.Errorf("plain emitted %d want 6", got)
+		}
+		if got := res.OperatorEmitted["histC"]; got != 3 {
+			return fmt.Errorf("combined emitted %d want 3", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
