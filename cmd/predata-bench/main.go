@@ -5,6 +5,7 @@
 //
 //	predata-bench -experiment fig7 [-op sort|hist|hist2d|all]
 //	predata-bench -experiment fig8|fig9|fig10|fig11
+//	predata-bench -experiment chaos
 //	predata-bench -experiment ablations
 //	predata-bench -experiment all
 //
@@ -23,7 +24,7 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|ablations|all")
+		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|chaos|ablations|all")
 	op := flag.String("op", "all", "fig7 operator: sort|hist|hist2d|all")
 	flag.Parse()
 
@@ -64,13 +65,15 @@ func run(w io.Writer, experiment, op string) error {
 		return bench.Offline(w)
 	case "des":
 		return bench.DESCrossCheck(w)
+	case "chaos":
+		return bench.Chaos(w)
 	case "ablations":
 		return ablations()
 	case "all":
 		for _, f := range []func(io.Writer) error{
 			func(w io.Writer) error { return bench.Fig7(w, op) },
 			bench.Fig8, bench.Fig9, bench.Fig10, bench.Fig11, bench.Offline,
-			bench.DESCrossCheck,
+			bench.DESCrossCheck, bench.Chaos,
 		} {
 			if err := f(w); err != nil {
 				return err

@@ -20,6 +20,7 @@ import (
 	"predata/internal/adios"
 	"predata/internal/bench"
 	"predata/internal/bp"
+	"predata/internal/faults"
 	"predata/internal/ffs"
 	"predata/internal/mpi"
 	"predata/internal/ops"
@@ -40,6 +41,8 @@ func main() {
 		dumps     = flag.Int("dumps", 2, "I/O dumps")
 		opsFlag   = flag.String("ops", "sort,hist", "operators: sort,hist,hist2d,index,reorg")
 		workers   = flag.Int("workers", 2, "map workers per staging rank")
+		faultPlan = flag.String("fault-plan", "", "fault plan, e.g. 'transient:*:0.1;crash:9@1;degrade:3:0-2:4' (staging mode only)")
+		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan's probabilistic draws")
 	)
 	flag.Parse()
 
@@ -52,6 +55,10 @@ func main() {
 		*mode = m
 	}
 	if *mode == "incompute" {
+		if *faultPlan != "" {
+			fmt.Fprintln(os.Stderr, "predata-run: -fault-plan requires -mode staging")
+			os.Exit(2)
+		}
 		if err := runInCompute(*app, *compute, *particles, *local, *dumps); err != nil {
 			fmt.Fprintln(os.Stderr, "predata-run:", err)
 			os.Exit(1)
@@ -62,13 +69,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "predata-run: unknown -mode", *mode)
 		os.Exit(2)
 	}
-	if err := run(*app, *compute, *stagingN, *particles, *local, *dumps, *workers, *opsFlag); err != nil {
+	if err := run(*app, *compute, *stagingN, *particles, *local, *dumps, *workers, *opsFlag, *faultPlan, *faultSeed); err != nil {
 		fmt.Fprintln(os.Stderr, "predata-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, compute, stagingN, particles, local, dumps, workers int, opsFlag string) error {
+func run(app string, compute, stagingN, particles, local, dumps, workers int, opsFlag, faultPlan string, faultSeed int64) error {
 	opNames := strings.Split(opsFlag, ",")
 	factory, err := operatorFactory(app, opNames)
 	if err != nil {
@@ -80,6 +87,13 @@ func run(app string, compute, stagingN, particles, local, dumps, workers int, op
 		Dumps:           dumps,
 		Engine:          staging.Config{Workers: workers},
 		PullConcurrency: 2,
+	}
+	if faultPlan != "" {
+		plan, err := faults.ParsePlan(faultPlan, faultSeed)
+		if err != nil {
+			return err
+		}
+		cfg.FaultPlan = &plan
 	}
 	// The min/max partial pass operates on 2D particle arrays; the
 	// Pixie3D workload ships 3D field chunks instead.
@@ -96,6 +110,15 @@ func run(app string, compute, stagingN, particles, local, dumps, workers int, op
 
 	fmt.Printf("pipeline: %d compute + %d staging ranks, %d dumps, wall %v\n",
 		compute, stagingN, dumps, wall.Round(time.Millisecond))
+	if rep := res.Fault; rep != nil {
+		fmt.Printf("faults: %d transients injected, %d retries, %d rerouted writes, %d redistributed requests, %d drops, %d degraded dumps",
+			rep.InjectedTransients, rep.Retries, rep.ReroutedDumps, rep.Redistributed, rep.Drops, rep.DegradedDumps)
+		if len(rep.CrashedStaging) > 0 {
+			fmt.Printf(", crashed staging %v, recovery %v",
+				rep.CrashedStaging, rep.RecoveryWall.Round(time.Microsecond))
+		}
+		fmt.Println()
+	}
 	for rank, perDump := range res.StagingStats {
 		for dump, st := range perDump {
 			fmt.Printf("staging rank %d dump %d: %d requests, %.1f MB pulled, modeled pull %v, process wall %v\n",

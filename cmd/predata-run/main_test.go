@@ -7,26 +7,42 @@ import (
 )
 
 func TestRunGTCPipeline(t *testing.T) {
-	if err := run("gtc", 4, 2, 500, 8, 1, 2, "sort,hist,hist2d,index"); err != nil {
+	if err := run("gtc", 4, 2, 500, 8, 1, 2, "sort,hist,hist2d,index", "", 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPixiePipeline(t *testing.T) {
-	if err := run("pixie3d", 4, 1, 0, 8, 1, 1, "reorg"); err != nil {
+	if err := run("pixie3d", 4, 1, 0, 8, 1, 1, "reorg", "", 1); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownOperator(t *testing.T) {
-	if err := run("gtc", 2, 1, 10, 8, 1, 1, "sort,frobnicate"); err == nil {
+	if err := run("gtc", 2, 1, 10, 8, 1, 1, "sort,frobnicate", "", 1); err == nil {
 		t.Fatal("unknown operator accepted")
 	}
 }
 
 func TestRunMultipleDumps(t *testing.T) {
-	if err := run("gtc", 4, 2, 200, 8, 3, 2, "hist"); err != nil {
+	if err := run("gtc", 4, 2, 200, 8, 3, 2, "hist", "", 1); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunFaultPlanChaos(t *testing.T) {
+	// Transients plus a staging crash at dump 1: the run must complete
+	// (degraded, not failed) under the full CLI path.
+	if err := run("gtc", 4, 2, 200, 8, 2, 2, "hist", "transient:*:0.05;crash:5@1", 42); err != nil {
+		t.Fatal(err)
+	}
+	// A malformed plan fails before the pipeline launches.
+	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "explode:everything", 1); err == nil {
+		t.Fatal("malformed fault plan accepted")
+	}
+	// A plan crashing a compute endpoint is rejected.
+	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "crash:0@0", 1); err == nil {
+		t.Fatal("compute-endpoint crash accepted")
 	}
 }
 

@@ -129,6 +129,14 @@ func TestOffline(t *testing.T) {
 	}, "offline", "in-transit", "65536", "monitoring")
 }
 
+func TestChaosFaultExperiment(t *testing.T) {
+	runFig(t, "chaos", func() (string, error) {
+		var buf bytes.Buffer
+		err := Chaos(&buf)
+		return buf.String(), err
+	}, "fault-free", "transient", "crash", "lossless")
+}
+
 func TestAblationScheduling(t *testing.T) {
 	runFig(t, "scheduling", func() (string, error) {
 		var buf bytes.Buffer

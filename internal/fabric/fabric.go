@@ -19,11 +19,25 @@
 package fabric
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 	"time"
+
+	"predata/internal/faults"
+)
+
+// Typed fabric errors, matched with errors.Is. Crash-induced failures
+// wrap faults.ErrEndpointDown instead, so callers can distinguish a dead
+// peer (reroute) from a dying job (abort).
+var (
+	// ErrShutdown marks operations refused because the whole fabric was
+	// shut down.
+	ErrShutdown = errors.New("fabric shut down")
+	// ErrTimeout marks a control receive that hit its deadline.
+	ErrTimeout = errors.New("control receive timed out")
 )
 
 // Config describes the modeled network.
@@ -51,6 +65,10 @@ type Config struct {
 	// disables pacing (transfers complete at memory speed and only the
 	// returned duration reflects the model).
 	PaceScale float64
+	// Faults, when non-nil, injects transient pull/control failures and
+	// degraded-bandwidth windows into every operation on this fabric.
+	// Endpoint crashes are driven separately through FailEndpoint.
+	Faults *faults.Injector
 }
 
 // DefaultConfig returns a network description loosely calibrated to a
@@ -82,18 +100,29 @@ type Fabric struct {
 	cond   *sync.Cond
 	eps    []*endpointState
 	rng    *rand.Rand
-	active int // in-flight pulls across the fabric
+	active int  // in-flight pulls across the fabric
+	down   bool // Shutdown has run
+}
+
+// region is one exposed memory area, stamped with the dump epoch its
+// owner declared at expose time so dump-indexed fault windows can see
+// which dump's data a pull moves.
+type region struct {
+	buf   []byte
+	epoch int64
 }
 
 type endpointState struct {
 	mailbox      []ctlMessage
 	mailCond     *sync.Cond
-	regions      map[uint64][]byte
+	regions      map[uint64]region
 	nextRegion   uint64
 	busyDepth    int           // nested busy-phase depth
 	interference time.Duration // accumulated slowdown charged to this endpoint
 	pulledBytes  int64
-	closed       bool
+	epoch        int64 // current dump epoch, stamped onto exposed regions
+	closed       bool  // fabric shut down
+	failed       bool  // endpoint crashed (fault injection)
 }
 
 type ctlMessage struct {
@@ -116,7 +145,7 @@ func New(cfg Config) (*Fabric, error) {
 	}
 	f.cond = sync.NewCond(&f.mu)
 	for i := range f.eps {
-		f.eps[i] = &endpointState{regions: make(map[uint64][]byte)}
+		f.eps[i] = &endpointState{regions: make(map[uint64]region)}
 		f.eps[i].mailCond = sync.NewCond(&f.mu)
 	}
 	return f, nil
@@ -131,9 +160,17 @@ func (f *Fabric) Endpoint(id int) (*Endpoint, error) {
 }
 
 // Shutdown unblocks all endpoints waiting for control messages or
-// deferred pulls; subsequent blocking calls fail.
+// deferred pulls; subsequent blocking calls fail with an error wrapping
+// ErrShutdown. Shutdown is idempotent and safe to call concurrently —
+// a watchdog, a failing rank, and a deferred cleanup may all race to
+// tear the fabric down.
 func (f *Fabric) Shutdown() {
 	f.mu.Lock()
+	if f.down {
+		f.mu.Unlock()
+		return
+	}
+	f.down = true
 	for _, ep := range f.eps {
 		ep.closed = true
 	}
@@ -142,6 +179,35 @@ func (f *Fabric) Shutdown() {
 	for _, ep := range f.eps {
 		ep.mailCond.Broadcast()
 	}
+}
+
+// FailEndpoint marks endpoint id as crashed: its exposed regions vanish,
+// blocked receivers on it return an error wrapping faults.ErrEndpointDown,
+// and subsequent sends to or pulls from it are refused with the same
+// error. Unlike Shutdown this is per-endpoint and non-recoverable — it
+// models node loss, and the recovery layer reroutes around it.
+func (f *Fabric) FailEndpoint(id int) error {
+	if id < 0 || id >= len(f.eps) {
+		return fmt.Errorf("fabric: FailEndpoint %d outside [0,%d)", id, len(f.eps))
+	}
+	f.mu.Lock()
+	st := f.eps[id]
+	st.failed = true
+	st.regions = make(map[uint64]region)
+	f.mu.Unlock()
+	f.cond.Broadcast()
+	st.mailCond.Broadcast()
+	return nil
+}
+
+// Failed reports whether FailEndpoint has crashed endpoint id.
+func (f *Fabric) Failed(id int) bool {
+	if id < 0 || id >= len(f.eps) {
+		return false
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.eps[id].failed
 }
 
 // Endpoint is one node's attachment to the fabric.
@@ -154,14 +220,28 @@ type Endpoint struct {
 func (e *Endpoint) ID() int { return e.id }
 
 // SendCtl sends a small control message (e.g. a data-fetch request) to
-// endpoint dst. Control messages are modeled as latency-only.
+// endpoint dst. Control messages are modeled as latency-only. Sending to
+// a crashed endpoint fails wrapping faults.ErrEndpointDown; sending
+// after Shutdown fails wrapping ErrShutdown.
 func (e *Endpoint) SendCtl(dst int, data any) error {
 	if dst < 0 || dst >= len(e.f.eps) {
 		return fmt.Errorf("fabric: SendCtl to endpoint %d outside fabric", dst)
 	}
 	f := e.f
+	if err := f.cfg.Faults.OpFault(faults.OpSendCtl, dst); err != nil {
+		return fmt.Errorf("fabric: SendCtl to endpoint %d: %w", dst, err)
+	}
 	f.mu.Lock()
 	target := f.eps[dst]
+	if target.failed {
+		f.mu.Unlock()
+		f.cfg.Faults.NoteDownRefusal()
+		return fmt.Errorf("fabric: SendCtl to endpoint %d: %w", dst, faults.ErrEndpointDown)
+	}
+	if target.closed {
+		f.mu.Unlock()
+		return fmt.Errorf("fabric: SendCtl to endpoint %d: %w", dst, ErrShutdown)
+	}
 	target.mailbox = append(target.mailbox, ctlMessage{src: e.id, data: data})
 	f.mu.Unlock()
 	target.mailCond.Broadcast()
@@ -171,19 +251,60 @@ func (e *Endpoint) SendCtl(dst int, data any) error {
 // RecvCtl blocks until a control message arrives and returns its source
 // and payload.
 func (e *Endpoint) RecvCtl() (src int, data any, err error) {
+	return e.recvCtl(0)
+}
+
+// RecvCtlTimeout is RecvCtl with a deadline: when no message arrives
+// within timeout it fails with an error wrapping ErrTimeout. A timeout
+// <= 0 blocks indefinitely, like RecvCtl.
+func (e *Endpoint) RecvCtlTimeout(timeout time.Duration) (src int, data any, err error) {
+	return e.recvCtl(timeout)
+}
+
+func (e *Endpoint) recvCtl(timeout time.Duration) (src int, data any, err error) {
 	f := e.f
+	if ferr := f.cfg.Faults.OpFault(faults.OpRecvCtl, e.id); ferr != nil {
+		return 0, nil, fmt.Errorf("fabric: RecvCtl on endpoint %d: %w", e.id, ferr)
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := f.eps[e.id]
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+		// sync.Cond has no timed wait; an AfterFunc broadcast wakes the
+		// loop so it can observe the deadline.
+		stop := time.AfterFunc(timeout, func() {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			st.mailCond.Broadcast()
+		})
+		defer stop.Stop()
+	}
 	for len(st.mailbox) == 0 {
+		if st.failed {
+			return 0, nil, fmt.Errorf("fabric: endpoint %d: %w", e.id, faults.ErrEndpointDown)
+		}
 		if st.closed {
-			return 0, nil, fmt.Errorf("fabric: endpoint %d shut down", e.id)
+			return 0, nil, fmt.Errorf("fabric: endpoint %d: %w", e.id, ErrShutdown)
+		}
+		if timeout > 0 && !time.Now().Before(deadline) {
+			return 0, nil, fmt.Errorf("fabric: endpoint %d: no control message within %v: %w", e.id, timeout, ErrTimeout)
 		}
 		st.mailCond.Wait()
 	}
 	m := st.mailbox[0]
 	st.mailbox = st.mailbox[1:]
 	return m.src, m.data, nil
+}
+
+// SetEpoch declares the dump epoch stamped onto regions this endpoint
+// exposes from now on; dump-indexed degrade windows key off it.
+func (e *Endpoint) SetEpoch(epoch int64) {
+	f := e.f
+	f.mu.Lock()
+	f.eps[e.id].epoch = epoch
+	f.mu.Unlock()
 }
 
 // Expose registers buf as a pullable memory region and returns its handle.
@@ -196,7 +317,7 @@ func (e *Endpoint) Expose(buf []byte) Handle {
 	st := f.eps[e.id]
 	st.nextRegion++
 	id := st.nextRegion
-	st.regions[id] = buf
+	st.regions[id] = region{buf: buf, epoch: st.epoch}
 	return Handle{Endpoint: e.id, ID: id, Size: len(buf)}
 }
 
@@ -223,8 +344,8 @@ func (e *Endpoint) ExposedBytes() int64 {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	var n int64
-	for _, b := range f.eps[e.id].regions {
-		n += int64(len(b))
+	for _, r := range f.eps[e.id].regions {
+		n += int64(len(r.buf))
 	}
 	return n
 }
@@ -273,18 +394,28 @@ func (e *Endpoint) Pull(h Handle) ([]byte, time.Duration, error) {
 	if h.Endpoint < 0 || h.Endpoint >= len(f.eps) {
 		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d outside fabric", h.Endpoint)
 	}
+	// Transients fire before the region is consumed, so a retry of the
+	// same handle can still succeed.
+	if err := f.cfg.Faults.OpFault(faults.OpPull, h.Endpoint); err != nil {
+		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d: %w", h.Endpoint, err)
+	}
 	f.mu.Lock()
 	src := f.eps[h.Endpoint]
 	if f.cfg.Scheduled {
-		for src.busyDepth > 0 && !src.closed {
+		for src.busyDepth > 0 && !src.closed && !src.failed {
 			f.cond.Wait()
 		}
 	}
+	if src.failed {
+		f.mu.Unlock()
+		f.cfg.Faults.NoteDownRefusal()
+		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d: %w", h.Endpoint, faults.ErrEndpointDown)
+	}
 	if src.closed {
 		f.mu.Unlock()
-		return nil, 0, fmt.Errorf("fabric: endpoint %d shut down", h.Endpoint)
+		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d: %w", h.Endpoint, ErrShutdown)
 	}
-	buf, ok := src.regions[h.ID]
+	reg, ok := src.regions[h.ID]
 	if !ok {
 		f.mu.Unlock()
 		return nil, 0, fmt.Errorf("fabric: Pull of unknown region %d on endpoint %d", h.ID, h.Endpoint)
@@ -300,19 +431,21 @@ func (e *Endpoint) Pull(h Handle) ([]byte, time.Duration, error) {
 	f.mu.Unlock()
 
 	// Both NICs are crossed once; contention is modeled fabric-wide since
-	// staging pulls funnel into few endpoints.
+	// staging pulls funnel into few endpoints. Degrade windows stretch the
+	// modeled duration of data exposed during the affected dumps.
+	slowdown := f.cfg.Faults.DegradeFactor(h.Endpoint, reg.epoch)
 	bw := f.cfg.LinkBandwidth / sharers
-	d := f.cfg.Latency + time.Duration(float64(len(buf))/bw*noise*float64(time.Second))
+	d := f.cfg.Latency + time.Duration(float64(len(reg.buf))/bw*noise*slowdown*float64(time.Second))
 
-	out := make([]byte, len(buf))
-	copy(out, buf)
+	out := make([]byte, len(reg.buf))
+	copy(out, reg.buf)
 	if f.cfg.PaceScale > 0 {
 		time.Sleep(time.Duration(float64(d) * f.cfg.PaceScale))
 	}
 
 	f.mu.Lock()
 	f.active--
-	src.pulledBytes += int64(len(buf))
+	src.pulledBytes += int64(len(reg.buf))
 	if busy && !f.cfg.Scheduled {
 		src.interference += time.Duration(float64(d) * f.cfg.InterferencePenalty)
 	}

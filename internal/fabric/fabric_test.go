@@ -2,10 +2,13 @@ package fabric
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
 	"time"
+
+	"predata/internal/faults"
 )
 
 func quiet(n int) Config {
@@ -288,6 +291,184 @@ func TestConcurrentPullsShareBandwidth(t *testing.T) {
 	}
 	if slower == 0 {
 		t.Errorf("no contention observed across %d overlapping pulls: %v", n, durs)
+	}
+}
+
+func TestSendCtlAfterShutdownErrors(t *testing.T) {
+	f, _ := New(quiet(2))
+	a, _ := f.Endpoint(0)
+	f.Shutdown()
+	err := a.SendCtl(1, "late")
+	if err == nil {
+		t.Fatal("SendCtl to a shut-down endpoint succeeded")
+	}
+	if !errors.Is(err, ErrShutdown) {
+		t.Errorf("error %v does not wrap ErrShutdown", err)
+	}
+}
+
+func TestSendCtlToFailedEndpoint(t *testing.T) {
+	f, _ := New(quiet(2))
+	a, _ := f.Endpoint(0)
+	if err := f.FailEndpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Failed(1) || f.Failed(0) {
+		t.Error("Failed() does not reflect FailEndpoint")
+	}
+	err := a.SendCtl(1, "dead letter")
+	if !errors.Is(err, faults.ErrEndpointDown) {
+		t.Errorf("SendCtl to crashed endpoint: %v, want ErrEndpointDown", err)
+	}
+	if errors.Is(err, ErrShutdown) {
+		t.Error("crash error matched ErrShutdown; callers could not tell reroute from abort")
+	}
+}
+
+func TestShutdownIdempotentConcurrent(t *testing.T) {
+	f, _ := New(quiet(4))
+	ep, _ := f.Endpoint(2)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := ep.RecvCtl()
+		done <- err
+	}()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			f.Shutdown()
+		}()
+	}
+	wg.Wait()
+	f.Shutdown() // and again, after the dust settles
+	if err := <-done; !errors.Is(err, ErrShutdown) {
+		t.Errorf("receiver unblocked with %v, want ErrShutdown", err)
+	}
+}
+
+func TestRecvCtlTimeout(t *testing.T) {
+	f, _ := New(quiet(2))
+	ep, _ := f.Endpoint(0)
+	start := time.Now()
+	_, _, err := ep.RecvCtlTimeout(20 * time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("idle receive returned %v, want ErrTimeout", err)
+	}
+	if waited := time.Since(start); waited < 20*time.Millisecond {
+		t.Errorf("timed out after only %v", waited)
+	}
+
+	// A message arriving before the deadline is delivered normally.
+	peer, _ := f.Endpoint(1)
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		peer.SendCtl(0, "in time")
+	}()
+	src, data, err := ep.RecvCtlTimeout(5 * time.Second)
+	if err != nil || src != 1 || data != "in time" {
+		t.Errorf("RecvCtlTimeout = (%d, %v, %v), want (1, in time, nil)", src, data, err)
+	}
+}
+
+func TestFailEndpointUnblocksReceiver(t *testing.T) {
+	f, _ := New(quiet(2))
+	ep, _ := f.Endpoint(1)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := ep.RecvCtl()
+		done <- err
+	}()
+	time.Sleep(2 * time.Millisecond)
+	if err := f.FailEndpoint(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if !errors.Is(err, faults.ErrEndpointDown) {
+			t.Errorf("receiver unblocked with %v, want ErrEndpointDown", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("receiver still blocked after FailEndpoint")
+	}
+}
+
+func TestFailEndpointDropsRegions(t *testing.T) {
+	f, _ := New(quiet(2))
+	src, _ := f.Endpoint(0)
+	dst, _ := f.Endpoint(1)
+	h := src.Expose([]byte("gone"))
+	if err := f.FailEndpoint(0); err != nil {
+		t.Fatal(err)
+	}
+	if src.ExposedBytes() != 0 {
+		t.Error("crashed endpoint still exposes regions")
+	}
+	_, _, err := dst.Pull(h)
+	if !errors.Is(err, faults.ErrEndpointDown) {
+		t.Errorf("Pull from crashed endpoint: %v, want ErrEndpointDown", err)
+	}
+}
+
+func TestDegradeWindowScalesPullDuration(t *testing.T) {
+	inj, err := faults.NewInjector(faults.Plan{Degrades: []faults.Degrade{
+		{Endpoint: 0, FromDump: 1, ToDump: 1, Factor: 8},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quiet(2)
+	cfg.Faults = inj
+	f, _ := New(cfg)
+	src, _ := f.Endpoint(0)
+	dst, _ := f.Endpoint(1)
+	pull := func(epoch int64) time.Duration {
+		src.SetEpoch(epoch)
+		h := src.Expose(make([]byte, 1<<20))
+		_, d, err := dst.Pull(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	clean, degraded, after := pull(0), pull(1), pull(2)
+	if degraded < 6*clean {
+		t.Errorf("degraded pull %v not ~8x clean pull %v", degraded, clean)
+	}
+	if after > 2*clean {
+		t.Errorf("pull after the window %v still degraded (clean %v)", after, clean)
+	}
+}
+
+func TestTransientInjectionOnFabricOps(t *testing.T) {
+	inj, err := faults.NewInjector(faults.Plan{Seed: 3, Transients: []faults.Transient{
+		{Endpoint: faults.AnyEndpoint, Op: faults.OpAny, Prob: 1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quiet(2)
+	cfg.Faults = inj
+	f, _ := New(cfg)
+	a, _ := f.Endpoint(0)
+	b, _ := f.Endpoint(1)
+	h := a.Expose([]byte("payload"))
+	if err := a.SendCtl(1, "x"); !errors.Is(err, faults.ErrTransient) {
+		t.Errorf("SendCtl under p=1 transients: %v", err)
+	}
+	if _, _, err := b.RecvCtl(); !errors.Is(err, faults.ErrTransient) {
+		t.Errorf("RecvCtl under p=1 transients: %v", err)
+	}
+	if _, _, err := b.Pull(h); !errors.Is(err, faults.ErrTransient) {
+		t.Errorf("Pull under p=1 transients: %v", err)
+	}
+	// The transient fired before the region was consumed: still exposed.
+	if a.ExposedBytes() == 0 {
+		t.Error("transient pull consumed the region; retries could never succeed")
+	}
+	if inj.Stats().Transients.Value() < 3 {
+		t.Errorf("transient counter %d < 3", inj.Stats().Transients.Value())
 	}
 }
 

@@ -1,0 +1,280 @@
+// Package faults provides deterministic, seeded fault injection for the
+// PreDatA fabric → staging → pipeline stack.
+//
+// At the 64:1–128:1 compute:staging ratios the paper targets, the staging
+// area sits on the critical output path of a peta-scale run, where
+// transient link degradation and node loss are routine. A Plan describes
+// the faults of one run up front — endpoint crashes pinned to an I/O
+// dump, transient per-operation failures with per-endpoint probability,
+// and degraded-bandwidth windows — so that a chaotic run is exactly
+// reproducible from its seed. The Injector evaluates a Plan at runtime:
+// the fabric consults it on every pull and control message, and the
+// predata recovery layer consults it for dump-indexed membership (which
+// staging ranks are alive at dump t).
+//
+// Two typed errors classify every injected failure for errors.Is:
+// ErrTransient (retry may succeed; the operation did not take effect)
+// and ErrEndpointDown (the endpoint crashed; reroute or degrade).
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"predata/internal/metrics"
+)
+
+// Typed fault errors. Errors returned by the fabric and the predata
+// recovery layer wrap one of these; classify with errors.Is.
+var (
+	// ErrEndpointDown marks an operation refused because the endpoint it
+	// addresses has crashed. Retrying cannot succeed; the caller must
+	// reroute onto survivors or record the loss.
+	ErrEndpointDown = errors.New("endpoint down")
+	// ErrTransient marks an injected transient failure. The operation did
+	// not take effect and a retry may succeed.
+	ErrTransient = errors.New("transient fault")
+)
+
+// AnyEndpoint matches every endpoint in a Transient or Degrade rule.
+const AnyEndpoint = -1
+
+// Op classifies the fabric operations transient faults attach to.
+type Op int
+
+const (
+	// OpAny matches every operation class in a Transient rule.
+	OpAny Op = iota - 1
+	// OpPull is a data-plane pull of an exposed region.
+	OpPull
+	// OpSendCtl is a control-plane send (e.g. a data-fetch request).
+	OpSendCtl
+	// OpRecvCtl is a control-plane receive.
+	OpRecvCtl
+)
+
+// String names the operation class (the plan-format keyword).
+func (o Op) String() string {
+	switch o {
+	case OpAny:
+		return "any"
+	case OpPull:
+		return "pull"
+	case OpSendCtl:
+		return "send"
+	case OpRecvCtl:
+		return "recv"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Crash kills one endpoint at a dump boundary: the endpoint is alive for
+// dumps < AtDump and dead for dumps >= AtDump.
+type Crash struct {
+	Endpoint int
+	AtDump   int
+}
+
+// Transient makes an operation class fail with probability Prob per
+// attempt, attributed to one endpoint (the destination of a send, the
+// source of a pull, the receiver of a recv) or to all of them.
+type Transient struct {
+	Endpoint int // endpoint id, or AnyEndpoint
+	Op       Op  // operation class, or OpAny
+	Prob     float64
+}
+
+// Degrade slows pulls of data exposed for dumps in [FromDump, ToDump]
+// (ToDump < 0 leaves the window open-ended) by Factor — a transient
+// link-degradation window rather than a hard failure.
+type Degrade struct {
+	Endpoint int // endpoint id, or AnyEndpoint
+	FromDump int
+	ToDump   int
+	Factor   float64 // transfer-duration multiplier, >= 1
+}
+
+// Plan is a complete, reproducible fault schedule for one run.
+type Plan struct {
+	// Seed drives every probabilistic draw; two runs of the same plan and
+	// seed inject the same faults (per endpoint, draws are sequenced by
+	// that endpoint's operation order).
+	Seed       int64
+	Crashes    []Crash
+	Transients []Transient
+	Degrades   []Degrade
+}
+
+// Empty reports whether the plan injects nothing.
+func (p Plan) Empty() bool {
+	return len(p.Crashes) == 0 && len(p.Transients) == 0 && len(p.Degrades) == 0
+}
+
+// Validate checks rule ranges: probabilities in [0, 1], degrade factors
+// >= 1, endpoint ids >= AnyEndpoint, crash dumps >= 0.
+func (p Plan) Validate() error {
+	for _, c := range p.Crashes {
+		if c.Endpoint < 0 {
+			return fmt.Errorf("faults: crash endpoint %d must be >= 0", c.Endpoint)
+		}
+		if c.AtDump < 0 {
+			return fmt.Errorf("faults: crash dump %d must be >= 0", c.AtDump)
+		}
+	}
+	for _, t := range p.Transients {
+		if t.Endpoint < AnyEndpoint {
+			return fmt.Errorf("faults: transient endpoint %d invalid", t.Endpoint)
+		}
+		if t.Op < OpAny || t.Op > OpRecvCtl {
+			return fmt.Errorf("faults: transient op %d invalid", int(t.Op))
+		}
+		if t.Prob < 0 || t.Prob > 1 {
+			return fmt.Errorf("faults: transient probability %g outside [0,1]", t.Prob)
+		}
+	}
+	for _, d := range p.Degrades {
+		if d.Endpoint < AnyEndpoint {
+			return fmt.Errorf("faults: degrade endpoint %d invalid", d.Endpoint)
+		}
+		if d.Factor < 1 {
+			return fmt.Errorf("faults: degrade factor %g must be >= 1", d.Factor)
+		}
+		if d.FromDump < 0 || (d.ToDump >= 0 && d.ToDump < d.FromDump) {
+			return fmt.Errorf("faults: degrade window [%d,%d] invalid", d.FromDump, d.ToDump)
+		}
+	}
+	return nil
+}
+
+// Stats counts injected faults. All counters are safe for concurrent use.
+type Stats struct {
+	// Transients is the number of transient failures fired.
+	Transients metrics.Counter
+	// DownRefusals is the number of fabric operations refused because
+	// they addressed a crashed endpoint.
+	DownRefusals metrics.Counter
+}
+
+// Injector evaluates a Plan at runtime. A nil *Injector is valid and
+// injects nothing, so call sites need no guards. All methods are safe
+// for concurrent use.
+type Injector struct {
+	plan  Plan
+	mu    sync.Mutex
+	rngs  map[int]*rand.Rand
+	stats Stats
+}
+
+// NewInjector validates the plan and returns its runtime evaluator.
+func NewInjector(p Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &Injector{plan: p, rngs: make(map[int]*rand.Rand)}, nil
+}
+
+// Plan returns the plan the injector evaluates (zero Plan when nil).
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// Stats exposes the injection counters (nil when the injector is nil).
+func (in *Injector) Stats() *Stats {
+	if in == nil {
+		return nil
+	}
+	return &in.stats
+}
+
+// rng returns the endpoint's private generator. Per-endpoint sequencing
+// keeps draws reproducible: each endpoint's fabric operations are issued
+// in a deterministic order by its owning goroutines, independent of how
+// other endpoints' operations interleave with them.
+func (in *Injector) rng(endpoint int) *rand.Rand {
+	r, ok := in.rngs[endpoint]
+	if !ok {
+		r = rand.New(rand.NewSource(in.plan.Seed*1_000_003 + int64(endpoint) + 1))
+		in.rngs[endpoint] = r
+	}
+	return r
+}
+
+// OpFault draws the transient-failure decision for one operation on one
+// endpoint, returning an error wrapping ErrTransient when the fault
+// fires and nil otherwise.
+func (in *Injector) OpFault(op Op, endpoint int) error {
+	if in == nil || len(in.plan.Transients) == 0 {
+		return nil
+	}
+	prob := 0.0
+	for _, t := range in.plan.Transients {
+		if t.Endpoint != AnyEndpoint && t.Endpoint != endpoint {
+			continue
+		}
+		if t.Op != OpAny && t.Op != op {
+			continue
+		}
+		if t.Prob > prob {
+			prob = t.Prob
+		}
+	}
+	if prob <= 0 {
+		return nil
+	}
+	in.mu.Lock()
+	hit := in.rng(endpoint).Float64() < prob
+	in.mu.Unlock()
+	if !hit {
+		return nil
+	}
+	in.stats.Transients.Inc()
+	return fmt.Errorf("faults: injected %v fault on endpoint %d: %w", op, endpoint, ErrTransient)
+}
+
+// DownAt reports whether the plan has crashed the endpoint by dump.
+func (in *Injector) DownAt(endpoint int, dump int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, c := range in.plan.Crashes {
+		if c.Endpoint == endpoint && dump >= int64(c.AtDump) {
+			return true
+		}
+	}
+	return false
+}
+
+// DegradeFactor returns the transfer-duration multiplier (>= 1) for data
+// the endpoint exposed during dump.
+func (in *Injector) DegradeFactor(endpoint int, dump int64) float64 {
+	if in == nil {
+		return 1
+	}
+	factor := 1.0
+	for _, d := range in.plan.Degrades {
+		if d.Endpoint != AnyEndpoint && d.Endpoint != endpoint {
+			continue
+		}
+		if dump < int64(d.FromDump) || (d.ToDump >= 0 && dump > int64(d.ToDump)) {
+			continue
+		}
+		if d.Factor > factor {
+			factor = d.Factor
+		}
+	}
+	return factor
+}
+
+// NoteDownRefusal records a fabric operation refused against a crashed
+// endpoint.
+func (in *Injector) NoteDownRefusal() {
+	if in == nil {
+		return
+	}
+	in.stats.DownRefusals.Inc()
+}

@@ -1,0 +1,211 @@
+package faults
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParsePlanRoundTrip(t *testing.T) {
+	spec := "transient:*:0.2;crash:9@1;degrade:3:0-2:4;transient:7:0.5:pull;degrade:*:1-*:2"
+	p, err := ParsePlan(spec, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Seed != 42 {
+		t.Errorf("seed %d", p.Seed)
+	}
+	if len(p.Crashes) != 1 || p.Crashes[0] != (Crash{Endpoint: 9, AtDump: 1}) {
+		t.Errorf("crashes %+v", p.Crashes)
+	}
+	if len(p.Transients) != 2 {
+		t.Fatalf("transients %+v", p.Transients)
+	}
+	if p.Transients[0] != (Transient{Endpoint: AnyEndpoint, Op: OpAny, Prob: 0.2}) {
+		t.Errorf("transient[0] %+v", p.Transients[0])
+	}
+	if p.Transients[1] != (Transient{Endpoint: 7, Op: OpPull, Prob: 0.5}) {
+		t.Errorf("transient[1] %+v", p.Transients[1])
+	}
+	if len(p.Degrades) != 2 || p.Degrades[1].ToDump != -1 {
+		t.Errorf("degrades %+v", p.Degrades)
+	}
+	// The rendered form reparses to the same plan.
+	again, err := ParsePlan(p.String(), 42)
+	if err != nil {
+		t.Fatalf("round trip: %v (rendered %q)", err, p.String())
+	}
+	if again.String() != p.String() {
+		t.Errorf("round trip %q != %q", again.String(), p.String())
+	}
+}
+
+func TestParsePlanErrors(t *testing.T) {
+	bad := []string{
+		"boom",
+		"explode:1:0.5",
+		"crash:1",
+		"crash:x@2",
+		"crash:1@-2",
+		"transient:1",
+		"transient:*:1.5",
+		"transient:*:0.5:implode",
+		"transient:-3:0.5",
+		"degrade:1:0-2",
+		"degrade:1:2-0:4",
+		"degrade:1:0-2:0.5",
+	}
+	for _, spec := range bad {
+		if _, err := ParsePlan(spec, 1); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+	p, err := ParsePlan("  ;; ", 1)
+	if err != nil || !p.Empty() {
+		t.Errorf("blank spec: plan %+v err %v", p, err)
+	}
+}
+
+func TestTypedErrors(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 1, Transients: []Transient{{Endpoint: AnyEndpoint, Op: OpAny, Prob: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	faultErr := in.OpFault(OpPull, 3)
+	if !errors.Is(faultErr, ErrTransient) {
+		t.Errorf("certain fault returned %v", faultErr)
+	}
+	if errors.Is(faultErr, ErrEndpointDown) {
+		t.Error("transient fault matched ErrEndpointDown")
+	}
+	if !strings.Contains(faultErr.Error(), "pull") || !strings.Contains(faultErr.Error(), "3") {
+		t.Errorf("fault error lacks context: %v", faultErr)
+	}
+	if in.Stats().Transients.Value() != 1 {
+		t.Errorf("transient counter %d", in.Stats().Transients.Value())
+	}
+}
+
+func TestOpFaultDeterministicPerSeed(t *testing.T) {
+	mk := func(seed int64) []bool {
+		in, err := NewInjector(Plan{Seed: seed, Transients: []Transient{{Endpoint: AnyEndpoint, Op: OpAny, Prob: 0.5}}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq := make([]bool, 64)
+		for i := range seq {
+			seq[i] = in.OpFault(OpPull, 2) != nil
+		}
+		return seq
+	}
+	a, b, c := mk(7), mk(7), mk(8)
+	fired := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different fault sequences")
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Errorf("p=0.5 fired %d/%d", fired, len(a))
+	}
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical fault sequences")
+	}
+}
+
+func TestOpFaultMatching(t *testing.T) {
+	in, err := NewInjector(Plan{Seed: 1, Transients: []Transient{{Endpoint: 4, Op: OpSendCtl, Prob: 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.OpFault(OpSendCtl, 4); !errors.Is(err, ErrTransient) {
+		t.Error("matching op/endpoint did not fire")
+	}
+	if err := in.OpFault(OpPull, 4); err != nil {
+		t.Errorf("non-matching op fired: %v", err)
+	}
+	if err := in.OpFault(OpSendCtl, 5); err != nil {
+		t.Errorf("non-matching endpoint fired: %v", err)
+	}
+}
+
+func TestDownAt(t *testing.T) {
+	in, err := NewInjector(Plan{Crashes: []Crash{{Endpoint: 9, AtDump: 2}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.DownAt(9, 1) {
+		t.Error("down before its crash dump")
+	}
+	if !in.DownAt(9, 2) || !in.DownAt(9, 5) {
+		t.Error("not down at/after its crash dump")
+	}
+	if in.DownAt(8, 5) {
+		t.Error("uncrashed endpoint down")
+	}
+}
+
+func TestDegradeFactorWindows(t *testing.T) {
+	in, err := NewInjector(Plan{Degrades: []Degrade{
+		{Endpoint: 3, FromDump: 1, ToDump: 2, Factor: 4},
+		{Endpoint: AnyEndpoint, FromDump: 5, ToDump: -1, Factor: 2},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		ep   int
+		dump int64
+		want float64
+	}{
+		{3, 0, 1}, {3, 1, 4}, {3, 2, 4}, {3, 3, 1}, {3, 7, 2},
+		{0, 1, 1}, {0, 5, 2}, {0, 100, 2},
+	}
+	for _, c := range cases {
+		if got := in.DegradeFactor(c.ep, c.dump); got != c.want {
+			t.Errorf("DegradeFactor(%d, %d) = %g want %g", c.ep, c.dump, got, c.want)
+		}
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.OpFault(OpPull, 0); err != nil {
+		t.Error("nil injector faulted")
+	}
+	if in.DownAt(0, 0) {
+		t.Error("nil injector crashed an endpoint")
+	}
+	if in.DegradeFactor(0, 0) != 1 {
+		t.Error("nil injector degraded")
+	}
+	if in.Stats() != nil {
+		t.Error("nil injector has stats")
+	}
+	if !in.Plan().Empty() {
+		t.Error("nil injector has a plan")
+	}
+	in.NoteDownRefusal()
+}
+
+func TestNewInjectorValidates(t *testing.T) {
+	if _, err := NewInjector(Plan{Transients: []Transient{{Prob: 2}}}); err == nil {
+		t.Error("probability 2 accepted")
+	}
+	if _, err := NewInjector(Plan{Degrades: []Degrade{{Factor: 0.5, ToDump: -1}}}); err == nil {
+		t.Error("speed-up degrade accepted")
+	}
+	if _, err := NewInjector(Plan{Crashes: []Crash{{Endpoint: -2}}}); err == nil {
+		t.Error("negative crash endpoint accepted")
+	}
+}

@@ -1,0 +1,171 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParsePlan builds a Plan from its compact textual form, the format the
+// predata-run --fault-plan flag accepts. A plan is a semicolon-separated
+// list of directives:
+//
+//	crash:EP@DUMP          endpoint EP is dead for dumps >= DUMP
+//	transient:EP:PROB[:OP] operation OP (pull|send|recv|any, default any)
+//	                       on endpoint EP fails with probability PROB
+//	degrade:EP:FROM-TO:F   pulls of dumps FROM..TO from endpoint EP take
+//	                       F times longer (TO may be * for open-ended)
+//
+// EP is a fabric endpoint id or * for every endpoint. Example:
+//
+//	transient:*:0.2;crash:9@1;degrade:3:0-2:4
+func ParsePlan(spec string, seed int64) (Plan, error) {
+	p := Plan{Seed: seed}
+	for _, dir := range strings.Split(spec, ";") {
+		dir = strings.TrimSpace(dir)
+		if dir == "" {
+			continue
+		}
+		kind, rest, ok := strings.Cut(dir, ":")
+		if !ok {
+			return Plan{}, fmt.Errorf("faults: directive %q missing ':'", dir)
+		}
+		var err error
+		switch kind {
+		case "crash":
+			err = parseCrash(&p, rest)
+		case "transient":
+			err = parseTransient(&p, rest)
+		case "degrade":
+			err = parseDegrade(&p, rest)
+		default:
+			err = fmt.Errorf("faults: unknown directive %q (want crash|transient|degrade)", kind)
+		}
+		if err != nil {
+			return Plan{}, err
+		}
+	}
+	if err := p.Validate(); err != nil {
+		return Plan{}, err
+	}
+	return p, nil
+}
+
+// parseEndpoint accepts an endpoint id or the * wildcard.
+func parseEndpoint(s string) (int, error) {
+	if s == "*" {
+		return AnyEndpoint, nil
+	}
+	ep, err := strconv.Atoi(s)
+	if err != nil || ep < 0 {
+		return 0, fmt.Errorf("faults: endpoint %q must be a non-negative id or *", s)
+	}
+	return ep, nil
+}
+
+func parseCrash(p *Plan, rest string) error {
+	epStr, dumpStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return fmt.Errorf("faults: crash %q wants EP@DUMP", rest)
+	}
+	ep, err := strconv.Atoi(epStr)
+	if err != nil || ep < 0 {
+		return fmt.Errorf("faults: crash endpoint %q must be a non-negative id", epStr)
+	}
+	dump, err := strconv.Atoi(dumpStr)
+	if err != nil || dump < 0 {
+		return fmt.Errorf("faults: crash dump %q must be a non-negative integer", dumpStr)
+	}
+	p.Crashes = append(p.Crashes, Crash{Endpoint: ep, AtDump: dump})
+	return nil
+}
+
+func parseTransient(p *Plan, rest string) error {
+	parts := strings.Split(rest, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return fmt.Errorf("faults: transient %q wants EP:PROB[:OP]", rest)
+	}
+	ep, err := parseEndpoint(parts[0])
+	if err != nil {
+		return err
+	}
+	prob, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("faults: transient probability %q: %v", parts[1], err)
+	}
+	op := OpAny
+	if len(parts) == 3 {
+		switch parts[2] {
+		case "pull":
+			op = OpPull
+		case "send":
+			op = OpSendCtl
+		case "recv":
+			op = OpRecvCtl
+		case "any":
+			op = OpAny
+		default:
+			return fmt.Errorf("faults: transient op %q (want pull|send|recv|any)", parts[2])
+		}
+	}
+	p.Transients = append(p.Transients, Transient{Endpoint: ep, Op: op, Prob: prob})
+	return nil
+}
+
+func parseDegrade(p *Plan, rest string) error {
+	parts := strings.Split(rest, ":")
+	if len(parts) != 3 {
+		return fmt.Errorf("faults: degrade %q wants EP:FROM-TO:FACTOR", rest)
+	}
+	ep, err := parseEndpoint(parts[0])
+	if err != nil {
+		return err
+	}
+	fromStr, toStr, ok := strings.Cut(parts[1], "-")
+	if !ok {
+		return fmt.Errorf("faults: degrade window %q wants FROM-TO", parts[1])
+	}
+	from, err := strconv.Atoi(fromStr)
+	if err != nil || from < 0 {
+		return fmt.Errorf("faults: degrade window start %q must be a non-negative integer", fromStr)
+	}
+	to := -1
+	if toStr != "*" {
+		to, err = strconv.Atoi(toStr)
+		if err != nil || to < from {
+			return fmt.Errorf("faults: degrade window end %q must be >= %d or *", toStr, from)
+		}
+	}
+	factor, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return fmt.Errorf("faults: degrade factor %q: %v", parts[2], err)
+	}
+	p.Degrades = append(p.Degrades, Degrade{Endpoint: ep, FromDump: from, ToDump: to, Factor: factor})
+	return nil
+}
+
+// String renders the plan back into the ParsePlan format (without the
+// seed, which rides separately).
+func (p Plan) String() string {
+	var dirs []string
+	epStr := func(ep int) string {
+		if ep == AnyEndpoint {
+			return "*"
+		}
+		return strconv.Itoa(ep)
+	}
+	for _, c := range p.Crashes {
+		dirs = append(dirs, fmt.Sprintf("crash:%d@%d", c.Endpoint, c.AtDump))
+	}
+	for _, t := range p.Transients {
+		dirs = append(dirs, fmt.Sprintf("transient:%s:%g:%v", epStr(t.Endpoint), t.Prob, t.Op))
+	}
+	for _, d := range p.Degrades {
+		to := "*"
+		if d.ToDump >= 0 {
+			to = strconv.Itoa(d.ToDump)
+		}
+		dirs = append(dirs, fmt.Sprintf("degrade:%s:%d-%s:%g", epStr(d.Endpoint), d.FromDump, to, d.Factor))
+	}
+	return strings.Join(dirs, ";")
+}

@@ -8,8 +8,25 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 )
+
+// Counter is a cumulative event counter (retries, drops, injected
+// faults, ...) safe for concurrent use. The zero value is ready; a
+// Counter must not be copied after first use.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one event.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add accumulates delta events.
+func (c *Counter) Add(delta int64) { c.n.Add(delta) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
 
 // Timer accumulates wall-clock time across repeated Start/Stop intervals.
 // The zero value is ready to use. Timer is not safe for concurrent use;

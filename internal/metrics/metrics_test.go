@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -121,5 +122,24 @@ func TestBreakdown(t *testing.T) {
 	}
 	if s := b.String(); !strings.Contains(s, "io=2s") {
 		t.Errorf("string %q", s)
+	}
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Inc()
+			}
+			c.Add(5)
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != 8*1000+8*5 {
+		t.Errorf("counter %d want %d", got, 8*1000+8*5)
 	}
 }

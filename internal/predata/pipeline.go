@@ -3,10 +3,14 @@ package predata
 import (
 	"errors"
 	"fmt"
+	"slices"
+	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"predata/internal/fabric"
+	"predata/internal/faults"
 	"predata/internal/mpi"
 	"predata/internal/staging"
 )
@@ -42,6 +46,41 @@ type PipelineConfig struct {
 	// Zero disables the watchdog. (A rank blocked purely in application
 	// code that never touches the fabric cannot be interrupted.)
 	Timeout time.Duration
+	// FaultPlan, when non-nil, injects the plan's faults into the run:
+	// transients and degrade windows act inside the fabric, crashes kill
+	// staging ranks at dump boundaries and the survivors absorb their
+	// routes. Crashes may only target staging endpoints
+	// [NumCompute, NumCompute+NumStaging) and must leave at least one
+	// staging rank alive.
+	FaultPlan *faults.Plan
+	// Retry tunes transient-fault backoff and the per-dump staging
+	// deadline; zero fields take DefaultRetryPolicy values.
+	Retry RetryPolicy
+}
+
+// FaultReport aggregates fault-injection and recovery activity across
+// one pipeline run. All counters are totals over all ranks and dumps.
+type FaultReport struct {
+	// InjectedTransients and DownRefusals come from the fabric-level
+	// injector: faults fired and operations refused against dead peers.
+	InjectedTransients int64
+	DownRefusals       int64
+	// Retries counts fabric operations retried (client sends, staging
+	// receives and pulls).
+	Retries int64
+	// ReroutedDumps counts client writes rehashed onto a surviving
+	// staging rank.
+	ReroutedDumps int64
+	// Redistributed counts requests served by a non-primary staging rank.
+	Redistributed int64
+	// Drops counts chunks lost to crashed endpoints.
+	Drops int64
+	// DegradedDumps counts per-rank dump results marked Degraded.
+	DegradedDumps int64
+	// CrashedStaging lists the staging indices the plan crashed.
+	CrashedStaging []int
+	// RecoveryWall is the total membership-reconfiguration time.
+	RecoveryWall time.Duration
 }
 
 // ComputeFunc runs the application on one compute rank. comm spans only
@@ -61,6 +100,8 @@ type PipelineResult struct {
 	// ClientVisible[rank] is each compute rank's accumulated visible I/O
 	// time over all dumps.
 	ClientVisible []float64
+	// Fault reports injection and recovery activity; nil without a plan.
+	Fault *FaultReport
 }
 
 // RunPipeline executes computeFn on NumCompute ranks and the staging
@@ -75,11 +116,32 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 		return nil, fmt.Errorf("predata: negative dump count %d", cfg.Dumps)
 	}
 	total := cfg.NumCompute + cfg.NumStaging
+	var inj *faults.Injector
+	if cfg.FaultPlan != nil {
+		var err error
+		inj, err = faults.NewInjector(*cfg.FaultPlan)
+		if err != nil {
+			return nil, err
+		}
+		crashed := map[int]bool{}
+		for _, c := range cfg.FaultPlan.Crashes {
+			if c.Endpoint < cfg.NumCompute || c.Endpoint >= total {
+				return nil, fmt.Errorf(
+					"predata: crash endpoint %d is not a staging endpoint [%d,%d)",
+					c.Endpoint, cfg.NumCompute, total)
+			}
+			crashed[c.Endpoint] = true
+		}
+		if len(crashed) >= cfg.NumStaging {
+			return nil, fmt.Errorf("predata: plan crashes all %d staging ranks", cfg.NumStaging)
+		}
+	}
 	fcfg := cfg.Fabric
 	if fcfg.LinkBandwidth == 0 {
 		fcfg = fabric.DefaultConfig(total)
 	}
 	fcfg.Endpoints = total
+	fcfg.Faults = inj
 	fab, err := fabric.New(fcfg)
 	if err != nil {
 		return nil, err
@@ -99,6 +161,10 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 		StagingStats:   make([][]*DumpStats, cfg.NumStaging),
 		ClientVisible:  make([]float64, cfg.NumCompute),
 	}
+	var (
+		reportMu sync.Mutex
+		report   FaultReport
+	)
 
 	err = mpi.Run(total, func(world *mpi.Comm) (rankErr error) {
 		// A failed rank must not leave peers blocked on the fabric: shut
@@ -132,6 +198,8 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 				Route:            cfg.Route,
 				Transform:        cfg.Transform,
 				PartialCalculate: cfg.PartialCalculate,
+				Faults:           inj,
+				Retry:            cfg.Retry,
 			})
 			if err != nil {
 				return err
@@ -140,35 +208,73 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 				return fmt.Errorf("compute rank %d: %w", comm.Rank(), err)
 			}
 			res.ClientVisible[comm.Rank()] = client.VisibleTime.Seconds()
+			reportMu.Lock()
+			report.Retries += client.Retries
+			report.ReroutedDumps += client.Rerouted
+			reportMu.Unlock()
 			return nil
 		}
+		myIdx := comm.Rank() // staging identity; stable across comm shrinks
 		server, err := NewServer(ServerConfig{
-			StagingIndex:    comm.Rank(),
+			StagingIndex:    myIdx,
 			Comm:            comm,
 			Endpoint:        ep,
 			NumCompute:      cfg.NumCompute,
+			NumStaging:      cfg.NumStaging,
+			StagingBase:     cfg.NumCompute,
 			Route:           cfg.Route,
 			Aggregate:       cfg.Aggregate,
 			Engine:          staging.NewEngine(cfg.Engine),
 			PullConcurrency: cfg.PullConcurrency,
 			ChunkOrder:      cfg.ChunkOrder,
 			ChunkFilter:     cfg.ChunkFilter,
+			Faults:          inj,
+			Retry:           cfg.Retry,
 		})
 		if err != nil {
 			return err
 		}
 		results := make([]*staging.Result, 0, cfg.Dumps)
 		stats := make([]*DumpStats, 0, cfg.Dumps)
+		cur := comm
+		prevLive := liveStagingAt(nil, cfg.NumCompute, cfg.NumStaging, 0) // everyone
 		for dump := 0; dump < cfg.Dumps; dump++ {
+			// Crashes are dump-aligned: when the live set changes, the
+			// current staging members collectively shrink the communicator.
+			// The dying rank splits out (color < 0 — MPI_UNDEFINED), drops
+			// off the fabric, and exits cleanly with the dumps it served;
+			// survivors carry on with the crashed rank's writers rehashed
+			// onto them by the shared plan-derived routing.
+			nowLive := liveStagingAt(inj, cfg.NumCompute, cfg.NumStaging, int64(dump))
+			if !slices.Equal(nowLive, prevLive) {
+				recStart := time.Now()
+				color := 0
+				if inj.DownAt(cfg.NumCompute+myIdx, int64(dump)) {
+					color = -1
+				}
+				sub, err := cur.Split(color, myIdx)
+				if err != nil {
+					return fmt.Errorf("staging rank %d shrink at dump %d: %w", myIdx, dump, err)
+				}
+				if color < 0 {
+					if err := fab.FailEndpoint(world.Rank()); err != nil {
+						return err
+					}
+					break
+				}
+				cur = sub
+				server.Reconfigure(cur, time.Since(recStart))
+				prevLive = nowLive
+			}
 			r, st, err := server.ServeDump(int64(dump), opsFor(dump))
 			if err != nil {
-				return fmt.Errorf("staging rank %d dump %d: %w", comm.Rank(), dump, err)
+				return fmt.Errorf("staging rank %d dump %d: %w", myIdx, dump, err)
 			}
 			results = append(results, r)
 			stats = append(stats, st)
 		}
-		res.StagingResults[comm.Rank()] = results
-		res.StagingStats[comm.Rank()] = stats
+		res.StagingResults[myIdx] = results
+		res.StagingStats[myIdx] = stats
 		return nil
 	})
 	if err != nil {
@@ -176,6 +282,31 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 			err = errors.Join(fmt.Errorf("predata: pipeline timed out after %v", cfg.Timeout), err)
 		}
 		return nil, errors.Join(errors.New("predata: pipeline failed"), err)
+	}
+	if inj != nil {
+		ist := inj.Stats()
+		report.InjectedTransients = ist.Transients.Value()
+		report.DownRefusals = ist.DownRefusals.Value()
+		seen := map[int]bool{}
+		for _, c := range cfg.FaultPlan.Crashes {
+			if !seen[c.Endpoint] {
+				seen[c.Endpoint] = true
+				report.CrashedStaging = append(report.CrashedStaging, c.Endpoint-cfg.NumCompute)
+			}
+		}
+		sort.Ints(report.CrashedStaging)
+		for _, rankStats := range res.StagingStats {
+			for _, st := range rankStats {
+				report.Retries += int64(st.Retries)
+				report.Redistributed += int64(st.Redistributed)
+				report.Drops += int64(st.Drops)
+				if st.Degraded {
+					report.DegradedDumps++
+				}
+				report.RecoveryWall += st.RecoveryWall
+			}
+		}
+		res.Fault = &report
 	}
 	return res, nil
 }

@@ -18,6 +18,7 @@
 package predata
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -25,6 +26,7 @@ import (
 
 	"predata/internal/evpath"
 	"predata/internal/fabric"
+	"predata/internal/faults"
 	"predata/internal/ffs"
 	"predata/internal/mpi"
 	"predata/internal/staging"
@@ -101,16 +103,29 @@ type ClientConfig struct {
 	// PartialCalculate is the optional Stage-1a local pass whose small
 	// result piggybacks on the fetch request.
 	PartialCalculate PartialFunc
+	// Faults is the shared fault plan, consulted for dump-indexed staging
+	// membership so writes route around crashed staging ranks. Nil means
+	// fault-free routing.
+	Faults *faults.Injector
+	// Retry bounds transient-fault retries of the fetch-request send.
+	// Zero fields take DefaultRetryPolicy values.
+	Retry RetryPolicy
 }
 
 // Client is the PreDatA runtime inside one compute process.
 type Client struct {
-	cfg ClientConfig
+	cfg   ClientConfig
+	retry RetryPolicy
 	// VisibleTime accumulates the I/O time visible to the simulation:
 	// partial calculation + packing + request dispatch.
 	VisibleTime time.Duration
 	// PackedBytes accumulates the bytes exposed for pulling.
 	PackedBytes int64
+	// Retries counts fetch-request sends retried after transient faults.
+	Retries int64
+	// Rerouted counts dumps whose fetch request was rehashed onto a
+	// surviving staging rank because the primary had crashed.
+	Rerouted int64
 }
 
 // NewClient validates the configuration and returns a client.
@@ -128,8 +143,12 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Route == nil {
 		cfg.Route = DefaultRoute
 	}
-	return &Client{cfg: cfg}, nil
+	return &Client{cfg: cfg, retry: cfg.Retry.withDefaults()}, nil
 }
+
+// Endpoint returns the client's fabric attachment, for callers that need
+// direct fabric access (e.g. watchdog tests blocking a compute rank).
+func (c *Client) Endpoint() *fabric.Endpoint { return c.cfg.Endpoint }
 
 // reserved field names added to every packed chunk.
 const (
@@ -180,8 +199,17 @@ func (c *Client) Write(schema *ffs.Schema, rec ffs.Record, timestep int64) (time
 	if err != nil {
 		return 0, fmt.Errorf("predata: pack: %w", err)
 	}
+	c.cfg.Endpoint.SetEpoch(timestep)
 	h := c.cfg.Endpoint.Expose(buf)
-	dst := c.cfg.StagingBase + c.cfg.Route(c.cfg.WriterRank, c.cfg.NumCompute, c.cfg.NumStaging)
+	idx, rerouted, err := effectiveRoute(c.cfg.Route, c.cfg.Faults,
+		c.cfg.WriterRank, c.cfg.NumCompute, c.cfg.NumStaging, c.cfg.StagingBase, timestep)
+	if err != nil {
+		return 0, err
+	}
+	if rerouted {
+		c.Rerouted++
+	}
+	dst := c.cfg.StagingBase + idx
 	req := FetchRequest{
 		Handle:     h,
 		WriterRank: c.cfg.WriterRank,
@@ -189,13 +217,27 @@ func (c *Client) Write(schema *ffs.Schema, rec ffs.Record, timestep int64) (time
 		Bytes:      len(buf),
 	}
 	req.Partial = partial
-	if err := c.cfg.Endpoint.SendCtl(dst, req); err != nil {
+	if err := c.sendWithRetry(dst, req); err != nil {
 		return 0, fmt.Errorf("predata: fetch request: %w", err)
 	}
 	visible := time.Since(start)
 	c.VisibleTime += visible
 	c.PackedBytes += int64(len(buf))
 	return visible, nil
+}
+
+// sendWithRetry dispatches the fetch request, retrying transient faults
+// with capped exponential backoff. Non-transient failures (crashed
+// endpoint, fabric shutdown) propagate immediately.
+func (c *Client) sendWithRetry(dst int, req FetchRequest) error {
+	for attempt := 0; ; attempt++ {
+		err := c.cfg.Endpoint.SendCtl(dst, req)
+		if err == nil || !errors.Is(err, faults.ErrTransient) || attempt+1 >= c.retry.MaxAttempts {
+			return err
+		}
+		c.Retries++
+		time.Sleep(c.retry.backoff(attempt))
+	}
 }
 
 // ServerConfig configures one staging rank's runtime.
@@ -231,6 +273,22 @@ type ServerConfig struct {
 	// before they reach any operator. It runs on the event-stream path
 	// (an evpath filter stone), so dropped chunks cost no Map work.
 	ChunkFilter func(*staging.Chunk) bool
+	// NumStaging is the original size of the staging area, which stays
+	// fixed across failures (StagingIndex keeps its meaning even as the
+	// communicator shrinks). Zero means Comm.Size().
+	NumStaging int
+	// StagingBase is the fabric endpoint id of staging index 0. Zero
+	// means the conventional layout, NumCompute.
+	StagingBase int
+	// Faults is the shared fault plan, consulted for dump-indexed
+	// membership (which staging ranks serve which writers at dump t).
+	// Nil means fault-free membership.
+	Faults *faults.Injector
+	// Retry bounds transient-fault retries and the per-dump gather
+	// deadline. Zero fields take DefaultRetryPolicy values; the deadline
+	// is enforced only when Faults is non-nil, preserving the fault-free
+	// contract that gathers block until the watchdog intervenes.
+	Retry RetryPolicy
 }
 
 // DumpStats reports the staging-side cost of one dump on one rank.
@@ -243,6 +301,20 @@ type DumpStats struct {
 	PullModeled time.Duration
 	// ChunksFiltered counts chunks dropped by the ChunkFilter stone.
 	ChunksFiltered int
+	// Retries counts fabric operations retried after transient faults
+	// (request receives and chunk pulls).
+	Retries int
+	// Redistributed counts requests this rank served on behalf of a
+	// crashed staging rank (the writer's primary route was elsewhere).
+	Redistributed int
+	// Drops counts chunks lost because their endpoint crashed before the
+	// pull; the dump still completes, marked Degraded.
+	Drops int
+	// Degraded mirrors the dump result's Degraded mark.
+	Degraded bool
+	// RecoveryWall is the time this rank spent reconfiguring membership
+	// (communicator shrink) ahead of this dump.
+	RecoveryWall time.Duration
 	// Wall phases.
 	GatherWall    time.Duration
 	AggregateWall time.Duration
@@ -252,9 +324,15 @@ type DumpStats struct {
 // Server is the PreDatA runtime inside one staging process.
 type Server struct {
 	cfg    ServerConfig
+	retry  RetryPolicy
 	served []int // compute ranks this staging index serves, ascending
 	// pending buffers fetch requests that arrived for future timesteps.
 	pending map[int64][]FetchRequest
+	// servedBy caches the per-timestep served set under crash rerouting.
+	servedBy map[int64][]int
+	// recovery accumulates membership-reconfiguration wall time, reported
+	// on the next served dump.
+	recovery time.Duration
 }
 
 // NewServer validates the configuration and returns a server.
@@ -274,9 +352,20 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.PullConcurrency < 1 {
 		cfg.PullConcurrency = 1
 	}
-	s := &Server{cfg: cfg, pending: make(map[int64][]FetchRequest)}
+	if cfg.NumStaging < 1 {
+		cfg.NumStaging = cfg.Comm.Size()
+	}
+	if cfg.StagingBase < 1 {
+		cfg.StagingBase = cfg.NumCompute
+	}
+	s := &Server{
+		cfg:      cfg,
+		retry:    cfg.Retry.withDefaults(),
+		pending:  make(map[int64][]FetchRequest),
+		servedBy: make(map[int64][]int),
+	}
 	for r := 0; r < cfg.NumCompute; r++ {
-		if cfg.Route(r, cfg.NumCompute, cfg.Comm.Size()) == cfg.StagingIndex {
+		if cfg.Route(r, cfg.NumCompute, cfg.NumStaging) == cfg.StagingIndex {
 			s.served = append(s.served, r)
 		}
 	}
@@ -284,27 +373,65 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	return s, nil
 }
 
-// Served returns the compute ranks this staging rank serves.
+// Served returns the compute ranks this staging rank serves (fault-free).
 func (s *Server) Served() []int { return append([]int(nil), s.served...) }
+
+// servedAt returns the compute ranks this staging index serves at
+// timestep, accounting for crash rerouting. Fault-free it is Served().
+func (s *Server) servedAt(timestep int64) []int {
+	if s.cfg.Faults == nil || len(s.cfg.Faults.Plan().Crashes) == 0 {
+		return s.served
+	}
+	if cached, ok := s.servedBy[timestep]; ok {
+		return cached
+	}
+	served := []int{}
+	for r := 0; r < s.cfg.NumCompute; r++ {
+		idx, _, err := effectiveRoute(s.cfg.Route, s.cfg.Faults,
+			r, s.cfg.NumCompute, s.cfg.NumStaging, s.cfg.StagingBase, timestep)
+		if err != nil {
+			continue // nobody alive to serve r; the pipeline validates against this
+		}
+		if idx == s.cfg.StagingIndex {
+			served = append(served, r)
+		}
+	}
+	s.servedBy[timestep] = served
+	return served
+}
+
+// Reconfigure installs the shrunk staging communicator after a
+// membership change (a crashed staging rank left), charging the
+// reconfiguration wall time to the next served dump's stats. The
+// server's StagingIndex identity and routing are unchanged — membership
+// is derived from the shared fault plan, not from the communicator.
+func (s *Server) Reconfigure(comm *mpi.Comm, recovery time.Duration) {
+	s.cfg.Comm = comm
+	s.recovery += recovery
+}
 
 // ServeDump processes one I/O dump: gather requests, aggregate partials,
 // pull + decode + stream chunks through the engine. All staging ranks must
 // call ServeDump collectively with the same timestep and operator list.
 func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Result, *DumpStats, error) {
-	stats := &DumpStats{}
+	stats := &DumpStats{RecoveryWall: s.recovery}
+	s.recovery = 0
 
 	// Stage 2a: gather fetch requests from every served compute rank.
+	// Under fault injection the gather is deadline-bound: the staging
+	// area is collective, so one wedged gather wedges every rank.
 	start := time.Now()
+	served := s.servedAt(timestep)
+	var deadline time.Time
+	if s.cfg.Faults != nil {
+		deadline = start.Add(s.retry.DumpDeadline)
+	}
 	reqs := s.pending[timestep]
 	delete(s.pending, timestep)
-	for len(reqs) < len(s.served) {
-		_, data, err := s.cfg.Endpoint.RecvCtl()
+	for len(reqs) < len(served) {
+		req, err := s.recvRequest(deadline, stats)
 		if err != nil {
-			return nil, nil, fmt.Errorf("predata: gathering fetch requests: %w", err)
-		}
-		req, ok := data.(FetchRequest)
-		if !ok {
-			return nil, nil, fmt.Errorf("predata: unexpected control message %T", data)
+			return nil, nil, err
 		}
 		if req.Timestep == timestep {
 			reqs = append(reqs, req)
@@ -315,13 +442,18 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 		// preserves per-sender ordering, so a *complete* dump buffered for
 		// another timestep means the requested one will never arrive:
 		// fail fast instead of deadlocking the staging area.
-		if len(s.pending[req.Timestep]) >= len(s.served) {
+		if exp := len(s.servedAt(req.Timestep)); exp > 0 && len(s.pending[req.Timestep]) >= exp {
 			return nil, nil, fmt.Errorf(
 				"predata: ServeDump(%d) but all %d served ranks sent timestep %d",
-				timestep, len(s.served), req.Timestep)
+				timestep, exp, req.Timestep)
 		}
 	}
 	stats.Requests = len(reqs)
+	for _, r := range reqs {
+		if s.cfg.Route(r.WriterRank, s.cfg.NumCompute, s.cfg.NumStaging) != s.cfg.StagingIndex {
+			stats.Redistributed++
+		}
+	}
 	stats.GatherWall = time.Since(start)
 
 	// Stage 2b: exchange piggybacked partials across the staging area and
@@ -415,8 +547,17 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 				if failed {
 					continue // drain remaining requests without pulling
 				}
-				buf, d, err := s.cfg.Endpoint.Pull(req.Handle)
+				buf, d, err := s.pullWithRetry(req, stats, &pullMu)
 				if err != nil {
+					// A crashed source endpoint loses only its own chunk:
+					// record the drop and let the dump complete Degraded.
+					// Anything else (shutdown, decode) aborts the dump.
+					if errors.Is(err, faults.ErrEndpointDown) {
+						pullMu.Lock()
+						stats.Drops++
+						pullMu.Unlock()
+						continue
+					}
 					s.recordPullErr(&pullMu, &pullErr,
 						fmt.Errorf("predata: pull from rank %d: %w", req.WriterRank, err))
 					continue
@@ -465,7 +606,62 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	if err != nil {
 		return nil, stats, err
 	}
+	res.Degraded = stats.Drops > 0 ||
+		(s.cfg.Faults != nil &&
+			len(liveStagingAt(s.cfg.Faults, s.cfg.StagingBase, s.cfg.NumStaging, timestep)) < s.cfg.NumStaging)
+	stats.Degraded = res.Degraded
 	return res, stats, nil
+}
+
+// recvRequest receives one fetch request, retrying injected transient
+// receive faults under the dump deadline (zero deadline blocks without
+// limit, the fault-free contract).
+func (s *Server) recvRequest(deadline time.Time, stats *DumpStats) (FetchRequest, error) {
+	for attempt := 0; ; attempt++ {
+		var (
+			data any
+			err  error
+		)
+		if deadline.IsZero() {
+			_, data, err = s.cfg.Endpoint.RecvCtl()
+		} else {
+			remaining := time.Until(deadline)
+			if remaining <= 0 {
+				return FetchRequest{}, fmt.Errorf(
+					"predata: dump deadline %v exceeded gathering fetch requests: %w",
+					s.retry.DumpDeadline, fabric.ErrTimeout)
+			}
+			_, data, err = s.cfg.Endpoint.RecvCtlTimeout(remaining)
+		}
+		if err != nil {
+			if errors.Is(err, faults.ErrTransient) {
+				stats.Retries++
+				time.Sleep(s.retry.backoff(attempt))
+				continue
+			}
+			return FetchRequest{}, fmt.Errorf("predata: gathering fetch requests: %w", err)
+		}
+		req, ok := data.(FetchRequest)
+		if !ok {
+			return FetchRequest{}, fmt.Errorf("predata: unexpected control message %T", data)
+		}
+		return req, nil
+	}
+}
+
+// pullWithRetry pulls one chunk, retrying injected transient faults with
+// capped exponential backoff within the attempt budget.
+func (s *Server) pullWithRetry(req FetchRequest, stats *DumpStats, mu *sync.Mutex) ([]byte, time.Duration, error) {
+	for attempt := 0; ; attempt++ {
+		buf, d, err := s.cfg.Endpoint.Pull(req.Handle)
+		if err == nil || !errors.Is(err, faults.ErrTransient) || attempt+1 >= s.retry.MaxAttempts {
+			return buf, d, err
+		}
+		mu.Lock()
+		stats.Retries++
+		mu.Unlock()
+		time.Sleep(s.retry.backoff(attempt))
+	}
 }
 
 // recordPullErr stores the first pull failure.

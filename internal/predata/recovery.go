@@ -1,0 +1,98 @@
+package predata
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"predata/internal/faults"
+)
+
+// RetryPolicy bounds how the compute and staging runtimes react to
+// transient fabric faults: capped exponential backoff between attempts,
+// and a per-dump deadline on the staging side so a dump that cannot
+// complete fails fast instead of wedging the collective staging area.
+type RetryPolicy struct {
+	// MaxAttempts is the attempt budget for one operation (send or pull).
+	MaxAttempts int
+	// BaseDelay is the backoff before the first retry; it doubles per
+	// retry up to MaxDelay, with +-50% jitter to decorrelate retry storms.
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// DumpDeadline caps the wall time one ServeDump may spend gathering
+	// fetch requests (including transient-retry loops).
+	DumpDeadline time.Duration
+}
+
+// DefaultRetryPolicy returns the policy used when a field is zero.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts:  8,
+		BaseDelay:    200 * time.Microsecond,
+		MaxDelay:     10 * time.Millisecond,
+		DumpDeadline: 30 * time.Second,
+	}
+}
+
+// withDefaults fills zero fields from DefaultRetryPolicy.
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.DumpDeadline <= 0 {
+		p.DumpDeadline = d.DumpDeadline
+	}
+	return p
+}
+
+// backoff returns the sleep before retry number retry (0-based): doubling
+// from BaseDelay, capped at MaxDelay, jittered into [0.5, 1.5)x. Jitter
+// deliberately uses the global generator — it has no effect on *which*
+// faults fire, so reproducibility does not depend on it.
+func (p RetryPolicy) backoff(retry int) time.Duration {
+	d := p.BaseDelay
+	for i := 0; i < retry && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+}
+
+// liveStagingAt returns the staging indices whose endpoints the plan has
+// not crashed by dump, in ascending order. With a nil injector every
+// index is live.
+func liveStagingAt(inj *faults.Injector, stagingBase, numStaging int, dump int64) []int {
+	live := make([]int, 0, numStaging)
+	for i := 0; i < numStaging; i++ {
+		if !inj.DownAt(stagingBase+i, dump) {
+			live = append(live, i)
+		}
+	}
+	return live
+}
+
+// effectiveRoute resolves the staging index serving writerRank at dump,
+// rehashing onto the surviving ranks when the primary's endpoint has
+// crashed. Both sides of the fabric derive membership from the same
+// shared fault plan, so producers and survivors agree on each dump's
+// request census without running a membership protocol.
+func effectiveRoute(route RouteFunc, inj *faults.Injector, writerRank, numCompute, numStaging, stagingBase int, dump int64) (idx int, rerouted bool, err error) {
+	primary := route(writerRank, numCompute, numStaging)
+	if !inj.DownAt(stagingBase+primary, dump) {
+		return primary, false, nil
+	}
+	live := liveStagingAt(inj, stagingBase, numStaging, dump)
+	if len(live) == 0 {
+		return 0, false, fmt.Errorf("predata: no staging rank alive at dump %d: %w", dump, faults.ErrEndpointDown)
+	}
+	return live[primary%len(live)], true, nil
+}

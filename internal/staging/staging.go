@@ -145,6 +145,11 @@ type Result struct {
 	// OperatorEmitted counts the intermediate values each operator
 	// emitted locally (after Combine) — the per-operator shuffle volume.
 	OperatorEmitted map[string]int
+	// Degraded marks a dump completed under failure recovery: chunks were
+	// dropped because their endpoint crashed, or the staging area was
+	// operating with fewer ranks than it started with. The results are
+	// valid over the data that survived.
+	Degraded bool
 }
 
 // taggedValue is the shuffle wire format.
