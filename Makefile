@@ -1,0 +1,37 @@
+GO ?= go
+VET_BIN := bin/predata-vet
+
+.PHONY: all build test race fmt vet bench-smoke evaluation clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# vet runs the standard toolchain vet plus the project suite. The
+# predata-vet binary is built once into bin/ so repeated runs (and the
+# CI cache) skip recompilation; see cmd/predata-vet and DESIGN.md §7.
+vet: $(VET_BIN)
+	$(GO) vet ./...
+	$(VET_BIN) ./...
+
+$(VET_BIN): $(shell find cmd/predata-vet internal/analysis -name '*.go' -not -path '*/testdata/*')
+	$(GO) build -o $(VET_BIN) ./cmd/predata-vet
+
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+evaluation:
+	$(GO) run ./cmd/predata-bench -experiment all
+
+clean:
+	rm -rf bin

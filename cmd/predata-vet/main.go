@@ -1,0 +1,115 @@
+// Command predata-vet runs the project's static-analysis suite — the
+// invariants the Go compiler cannot check — over any package pattern:
+//
+//	predata-vet ./...
+//	predata-vet -json ./internal/staging ./internal/predata
+//	predata-vet -fix ./...          # apply mechanical suggested fixes
+//	predata-vet -run typederr ./... # one analyzer only
+//
+// Analyzers (see DESIGN.md §7 for the invariant behind each):
+//
+//	collectivecheck  collectives under rank-dependent control flow
+//	ctxdeadline      unbounded retry/backoff loops
+//	goroutineleak    goroutines without a join mechanism
+//	lockhold         blocking operations while a mutex is held
+//	typederr         ==/!= against sentinel errors instead of errors.Is
+//
+// A finding is suppressed by a comment on the offending line or the
+// line immediately above:
+//
+//	//predata:vet-ignore <analyzer> <reason>
+//
+// The reason is mandatory; a bare directive is itself reported. Exit
+// status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"predata/internal/analysis"
+	"predata/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("predata-vet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON (suppressed findings included)")
+	fix := fs.Bool("fix", false, "apply mechanical suggested fixes in place")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: predata-vet [-json] [-fix] [-run names] [packages]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := suite.Analyzers()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var picked []*analysis.Analyzer
+		for _, name := range strings.Split(*only, ",") {
+			a := suite.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "predata-vet: unknown analyzer %q\n", name)
+				return 2
+			}
+			picked = append(picked, a)
+		}
+		analyzers = picked
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predata-vet: %v\n", err)
+		return 2
+	}
+	pkgs, err := analysis.Load(cwd, fs.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predata-vet: %v\n", err)
+		return 2
+	}
+	findings, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "predata-vet: %v\n", err)
+		return 2
+	}
+
+	if *fix {
+		n, err := analysis.ApplyFixes(findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "predata-vet: applying fixes: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(os.Stderr, "predata-vet: rewrote %d file(s); re-run to verify\n", n)
+	}
+
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, findings); err != nil {
+			fmt.Fprintf(os.Stderr, "predata-vet: %v\n", err)
+			return 2
+		}
+		for _, f := range findings {
+			if !f.Suppressed {
+				return 1
+			}
+		}
+		return 0
+	}
+	if n := analysis.WriteText(os.Stdout, findings); n > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,12 @@
+package collectivecheck_test
+
+import (
+	"testing"
+
+	"predata/internal/analysis/analysistest"
+	"predata/internal/analysis/collectivecheck"
+)
+
+func TestCollectivecheck(t *testing.T) {
+	analysistest.Run(t, collectivecheck.Analyzer, "testdata/src/a")
+}

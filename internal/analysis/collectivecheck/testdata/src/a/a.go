@@ -1,0 +1,53 @@
+package a
+
+import "predata/internal/mpi"
+
+func sum(x, y int) int { return x + y }
+
+func badRootOnlyBarrier(c *mpi.Comm) error {
+	if c.Rank() == 0 {
+		return c.Barrier() // want `collective Comm\.Barrier inside rank-conditional branch`
+	}
+	return nil
+}
+
+func badEarlyReturn(c *mpi.Comm, data []int) ([]int, error) {
+	rank := c.Rank()
+	if rank%2 == 0 {
+		return data, nil // want `rank-conditional return skips a later collective`
+	}
+	return mpi.Allreduce(c, data, sum)
+}
+
+func badDerivedTaint(c *mpi.Comm, data []int) ([]int, error) {
+	me := c.Rank()
+	isLeader := me == 0
+	if isLeader {
+		out, err := mpi.Gather(c, data, 0) // want `collective mpi\.Gather inside rank-conditional branch`
+		if err != nil {
+			return nil, err
+		}
+		return out[0], nil
+	}
+	return data, nil
+}
+
+func goodUniformSequence(c *mpi.Comm, data []int) ([]int, error) {
+	if err := c.Barrier(); err != nil {
+		return nil, err
+	}
+	return mpi.Allreduce(c, data, sum)
+}
+
+func goodRankArgs(c *mpi.Comm) (*mpi.Comm, error) {
+	// Rank-dependent arguments are the normal pattern: every rank calls.
+	return c.Split(c.Rank()%2, c.Rank())
+}
+
+func goodRankLocalWork(c *mpi.Comm, vals []float64) ([][]float64, error) {
+	send := make([][]float64, c.Size())
+	for i := range send {
+		send[i] = []float64{float64(c.Rank()), float64(i)}
+	}
+	return mpi.Alltoall(c, send)
+}

@@ -1,0 +1,12 @@
+package ctxdeadline_test
+
+import (
+	"testing"
+
+	"predata/internal/analysis/analysistest"
+	"predata/internal/analysis/ctxdeadline"
+)
+
+func TestCtxdeadline(t *testing.T) {
+	analysistest.Run(t, ctxdeadline.Analyzer, "testdata/src/a")
+}

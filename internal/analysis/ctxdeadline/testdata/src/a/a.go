@@ -1,0 +1,64 @@
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func backoff(attempt int) {
+	time.Sleep(time.Duration(attempt) * time.Millisecond)
+}
+
+func badSleep(try func() error) {
+	for { // want `retry loop sleeps between attempts but has no deadline, cancellation, or attempt bound`
+		if try() == nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func badBackoff(try func() error) {
+	for attempt := 0; ; attempt++ { // want `retry loop sleeps between attempts but has no deadline, cancellation, or attempt bound`
+		if try() == nil {
+			return
+		}
+		backoff(attempt)
+	}
+}
+
+func goodAttemptBound(try func() error, max int) {
+	for attempt := 0; ; attempt++ {
+		if try() == nil || attempt >= max {
+			return
+		}
+		backoff(attempt)
+	}
+}
+
+func goodDeadline(try func() error, deadline time.Time) {
+	for {
+		if try() == nil || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func goodCancel(ctx context.Context, try func() error) {
+	for {
+		if try() == nil || ctx.Err() != nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func goodConditioned(try func() error, deadline time.Time) {
+	for time.Now().Before(deadline) {
+		if try() == nil {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,242 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Finding is one driver-level result: a diagnostic resolved to a file
+// position, tagged with its analyzer, after suppression.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Path     string `json:"path"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Message  string `json:"message"`
+	// Suppressed marks findings silenced by a //predata:vet-ignore
+	// directive; the driver keeps them for -json consumers but they do
+	// not fail the run.
+	Suppressed   bool   `json:"suppressed,omitempty"`
+	SuppressedBy string `json:"suppressedBy,omitempty"`
+
+	diag Diagnostic
+	fset *token.FileSet
+}
+
+// IgnoreDirective is the suppression comment honored by the driver:
+//
+//	//predata:vet-ignore <analyzer> <reason>
+//
+// placed on the offending line or on its own line immediately above.
+// <analyzer> is one analyzer name or "all"; the reason is mandatory —
+// a directive without one suppresses nothing and is itself reported.
+const IgnoreDirective = "//predata:vet-ignore"
+
+var directiveRE = regexp.MustCompile(`^//predata:vet-ignore\s+([A-Za-z0-9_]+)[ \t]+(\S.*)$`)
+
+// directive is one parsed suppression comment.
+type directive struct {
+	analyzer  string
+	reason    string
+	line      int
+	pos       token.Pos
+	malformed bool
+}
+
+// collectDirectives scans a file's comments for vet-ignore directives.
+func collectDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimRight(c.Text, " \t")
+			if !strings.HasPrefix(text, IgnoreDirective) {
+				continue
+			}
+			d := directive{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
+			if m := directiveRE.FindStringSubmatch(text); m != nil {
+				d.analyzer, d.reason = m[1], m[2]
+			} else {
+				d.malformed = true
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// RunAnalyzers applies every analyzer to every package and returns the
+// findings, sorted by position, with suppression directives applied.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		// Directive index: file path -> line -> directives on that line.
+		type lineKey struct {
+			path string
+			line int
+		}
+		dirs := map[lineKey][]*directive{}
+		for _, f := range pkg.Files {
+			for _, d := range collectDirectives(pkg.Fset, f) {
+				d := d
+				p := pkg.Fset.Position(d.pos)
+				dirs[lineKey{p.Filename, d.line}] = append(dirs[lineKey{p.Filename, d.line}], &d)
+				if d.malformed {
+					findings = append(findings, Finding{
+						Analyzer: "vet-ignore",
+						Path:     p.Filename,
+						Line:     d.line,
+						Column:   p.Column,
+						Message: fmt.Sprintf("malformed directive: want %s <analyzer> <reason>",
+							IgnoreDirective),
+						fset: pkg.Fset,
+					})
+				}
+			}
+		}
+		suppressor := func(name string, pos token.Position) (string, bool) {
+			for _, line := range []int{pos.Line, pos.Line - 1} {
+				for _, d := range dirs[lineKey{pos.Filename, line}] {
+					if d.malformed {
+						continue
+					}
+					if d.analyzer == name || d.analyzer == "all" {
+						return d.reason, true
+					}
+				}
+			}
+			return "", false
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+			}
+			pass.Report = func(d Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				f := Finding{
+					Analyzer: a.Name,
+					Path:     pos.Filename,
+					Line:     pos.Line,
+					Column:   pos.Column,
+					Message:  d.Message,
+					diag:     d,
+					fset:     pkg.Fset,
+				}
+				if reason, ok := suppressor(a.Name, pos); ok {
+					f.Suppressed = true
+					f.SuppressedBy = reason
+				}
+				findings = append(findings, f)
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}
+
+// WriteText renders findings in the familiar file:line:col form,
+// omitting suppressed ones. It reports how many active findings it
+// wrote.
+func WriteText(w io.Writer, findings []Finding) int {
+	n := 0
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		fmt.Fprintf(w, "%s:%d:%d: [%s] %s\n", f.Path, f.Line, f.Column, f.Analyzer, f.Message)
+		n++
+	}
+	return n
+}
+
+// WriteJSON renders every finding — suppressed included — as a JSON
+// array for tooling consumption.
+func WriteJSON(w io.Writer, findings []Finding) error {
+	if findings == nil {
+		findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+// ApplyFixes applies every suggested fix attached to unsuppressed
+// findings, rewriting files in place. Overlapping edits within one file
+// are rejected. It returns the number of files rewritten.
+func ApplyFixes(findings []Finding) (int, error) {
+	type edit struct {
+		start, end int // byte offsets
+		text       string
+	}
+	perFile := map[string][]edit{}
+	for _, f := range findings {
+		if f.Suppressed {
+			continue
+		}
+		for _, fix := range f.diag.SuggestedFixes {
+			for _, te := range fix.TextEdits {
+				start := f.fset.Position(te.Pos)
+				end := f.fset.Position(te.End)
+				if start.Filename == "" || start.Filename != end.Filename {
+					return 0, fmt.Errorf("analysis: fix for %s spans files", f.Message)
+				}
+				perFile[start.Filename] = append(perFile[start.Filename],
+					edit{start.Offset, end.Offset, te.NewText})
+			}
+		}
+	}
+	rewritten := 0
+	for path, edits := range perFile {
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		for i := 1; i < len(edits); i++ {
+			if edits[i].start < edits[i-1].end {
+				return rewritten, fmt.Errorf("analysis: overlapping fixes in %s", path)
+			}
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return rewritten, err
+		}
+		var buf strings.Builder
+		last := 0
+		for _, e := range edits {
+			if e.start < last || e.end > len(src) {
+				return rewritten, fmt.Errorf("analysis: fix offsets out of range in %s", path)
+			}
+			buf.Write(src[last:e.start])
+			buf.WriteString(e.text)
+			last = e.end
+		}
+		buf.Write(src[last:])
+		if err := os.WriteFile(path, []byte(buf.String()), 0o644); err != nil {
+			return rewritten, err
+		}
+		rewritten++
+	}
+	return rewritten, nil
+}

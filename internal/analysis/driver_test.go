@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// checkSource parses and type-checks one synthetic file as a module
+// package, reusing the production checkUnit path.
+func checkSource(t *testing.T, src string) *Package {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := checkUnit(fset, importer.ForCompiler(fset, "source", nil),
+		ModulePath+"/synthetic", dir, []string{"a.go"})
+	if err != nil {
+		t.Fatalf("checkUnit: %v", err)
+	}
+	return pkg
+}
+
+// funcReporter flags every function declaration — a deterministic way to
+// exercise the driver's suppression plumbing.
+var funcReporter = &Analyzer{
+	Name: "fake",
+	Doc:  "reports every func decl",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			for _, d := range f.Decls {
+				if fd, ok := d.(*ast.FuncDecl); ok {
+					pass.Reportf(fd.Pos(), "func %s", fd.Name.Name)
+				}
+			}
+		}
+		return nil
+	},
+}
+
+func TestSuppressionDirectives(t *testing.T) {
+	pkg := checkSource(t, `package p
+
+func f1() {}
+
+//predata:vet-ignore fake covered by integration harness
+func f2() {}
+
+func f3() {} //predata:vet-ignore fake trailing-comment form
+
+//predata:vet-ignore all blanket waiver with reason
+func f4() {}
+
+//predata:vet-ignore otherpass reason aimed at a different analyzer
+func f5() {}
+
+//predata:vet-ignore fake
+func f6() {}
+`)
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{funcReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	byMessage := map[string]Finding{}
+	for _, f := range findings {
+		byMessage[f.Message] = f
+	}
+	wantSuppressed := map[string]bool{
+		"func f1": false,
+		"func f2": true,  // directive on the line above
+		"func f3": true,  // directive trailing the same line
+		"func f4": true,  // "all" applies to every analyzer
+		"func f5": false, // directive names a different analyzer
+		"func f6": false, // reason missing: directive is void
+	}
+	for msg, want := range wantSuppressed {
+		got, ok := byMessage[msg]
+		if !ok {
+			t.Fatalf("missing finding %q in %+v", msg, findings)
+		}
+		if got.Suppressed != want {
+			t.Errorf("%s: suppressed = %v, want %v", msg, got.Suppressed, want)
+		}
+		if want && got.SuppressedBy == "" {
+			t.Errorf("%s: suppressed without a recorded reason", msg)
+		}
+	}
+	// The reasonless directive is itself a finding.
+	malformed := 0
+	for _, f := range findings {
+		if f.Analyzer == "vet-ignore" {
+			malformed++
+			if f.Suppressed {
+				t.Errorf("malformed-directive finding must not be suppressible")
+			}
+		}
+	}
+	if malformed != 1 {
+		t.Errorf("malformed directive findings = %d, want 1", malformed)
+	}
+
+	var text bytes.Buffer
+	if n := WriteText(&text, findings); n != 4 { // f1, f5, f6, malformed
+		t.Errorf("WriteText active count = %d, want 4\n%s", n, text.String())
+	}
+	if strings.Contains(text.String(), "func f2") {
+		t.Errorf("suppressed finding leaked into text output:\n%s", text.String())
+	}
+
+	var js bytes.Buffer
+	if err := WriteJSON(&js, findings); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"func f2", "blanket waiver with reason", `"suppressed": true`} {
+		if !strings.Contains(js.String(), want) {
+			t.Errorf("JSON output missing %q:\n%s", want, js.String())
+		}
+	}
+}
+
+func TestFindingsSorted(t *testing.T) {
+	pkg := checkSource(t, `package p
+
+func b() {}
+
+func a() {}
+`)
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{funcReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 2 || findings[0].Line >= findings[1].Line {
+		t.Fatalf("findings not in position order: %+v", findings)
+	}
+}
+
+// fixReporter rewrites every `1 + 2` to `3` via a suggested fix.
+var fixReporter = &Analyzer{
+	Name: "fixer",
+	Doc:  "folds 1+2",
+	Run: func(pass *Pass) error {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if b, ok := n.(*ast.BinaryExpr); ok && types.ExprString(b) == "1 + 2" {
+					pass.Report(Diagnostic{
+						Pos:     b.Pos(),
+						Message: "constant fold",
+						SuggestedFixes: []SuggestedFix{{
+							Message:   "fold to 3",
+							TextEdits: []TextEdit{{Pos: b.Pos(), End: b.End(), NewText: "3"}},
+						}},
+					})
+				}
+				return true
+			})
+		}
+		return nil
+	},
+}
+
+func TestApplyFixes(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.go")
+	src := "package p\n\nfunc f() int { return 1 + 2 }\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	pkg, err := checkUnit(fset, nil, ModulePath+"/synthetic", dir, []string{"a.go"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := RunAnalyzers([]*Package{pkg}, []*Analyzer{fixReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := ApplyFixes(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("rewrote %d files, want 1", n)
+	}
+	out, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "func f() int { return 3 }"; !strings.Contains(string(out), want) {
+		t.Fatalf("fix not applied:\n%s", out)
+	}
+	// Result must still parse.
+	if _, err := parser.ParseFile(token.NewFileSet(), path, nil, 0); err != nil {
+		t.Fatalf("fixed file no longer parses: %v", err)
+	}
+}

@@ -1,0 +1,12 @@
+package goroutineleak_test
+
+import (
+	"testing"
+
+	"predata/internal/analysis/analysistest"
+	"predata/internal/analysis/goroutineleak"
+)
+
+func TestGoroutineleak(t *testing.T) {
+	analysistest.Run(t, goroutineleak.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,72 @@
+package a
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+func work(int) {}
+
+func spin() {
+	for i := 0; i < 10; i++ {
+		work(i)
+	}
+}
+
+func badFire() {
+	go func() { // want `goroutine has no join mechanism`
+		work(1)
+	}()
+}
+
+func badNamed() {
+	go spin() // want `goroutine has no join mechanism`
+}
+
+func badCapture(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work(it) // want `goroutine captures loop variable it; pass it as an argument`
+		}()
+	}
+	wg.Wait()
+}
+
+func goodWaitGroup(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			work(v)
+		}(it)
+	}
+	wg.Wait()
+}
+
+func goodChannel(done chan struct{}) {
+	go func() {
+		defer close(done)
+		work(2)
+	}()
+}
+
+func goodContext(ctx context.Context, out chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case out <- 1:
+			}
+		}
+	}()
+}
+
+func goodForeign() {
+	go fmt.Println("owned by the stdlib")
+}

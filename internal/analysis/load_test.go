@@ -1,0 +1,48 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestLoadProjectPackage(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := Load(root, "./internal/faults")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var unit *Package
+	for _, p := range pkgs {
+		if p.ImportPath == ModulePath+"/internal/faults" {
+			unit = p
+		}
+	}
+	if unit == nil {
+		t.Fatalf("predata/internal/faults not among loaded packages: %+v", pkgs)
+	}
+	if unit.Types == nil || unit.Types.Name() != "faults" {
+		t.Fatalf("faults package not type-checked: %+v", unit.Types)
+	}
+	if len(unit.Info.Defs) == 0 || len(unit.Info.Uses) == 0 {
+		t.Fatal("faults package loaded without type information")
+	}
+	// Sentinel resolution is what typederr depends on; assert it here so
+	// a loader regression fails close to the cause.
+	obj := unit.Types.Scope().Lookup("ErrTransient")
+	if obj == nil {
+		t.Fatal("faults.ErrTransient not found in package scope")
+	}
+}
+
+func TestLoadRejectsUnknownPattern(t *testing.T) {
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(root, "./does/not/exist"); err == nil {
+		t.Fatal("Load of a nonexistent pattern succeeded")
+	}
+}

@@ -1,0 +1,63 @@
+package a
+
+import (
+	"sync"
+	"time"
+)
+
+type box struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	ch   chan int
+	cond *sync.Cond
+	val  int
+}
+
+func (b *box) badSleep() {
+	b.mu.Lock()
+	time.Sleep(time.Millisecond) // want `blocking time\.Sleep while b\.mu is held`
+	b.mu.Unlock()
+}
+
+func (b *box) badRecvUnderDefer() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.val = <-b.ch // want `blocking channel receive while b\.mu is held`
+}
+
+func (b *box) badSend() {
+	b.rw.RLock()
+	b.ch <- b.val // want `blocking channel send while b\.rw is held`
+	b.rw.RUnlock()
+}
+
+func (b *box) badDoubleLock() {
+	b.mu.Lock()
+	b.mu.Lock() // want `b\.mu locked again while already held`
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+func (b *box) goodReleaseFirst() {
+	b.mu.Lock()
+	v := b.val
+	b.mu.Unlock()
+	time.Sleep(time.Millisecond)
+	b.ch <- v
+}
+
+func (b *box) goodCondWait() {
+	b.mu.Lock()
+	for b.val == 0 {
+		b.cond.Wait() // Cond.Wait releases the mutex while parked
+	}
+	b.mu.Unlock()
+}
+
+func (b *box) goodGoroutine() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	go func() {
+		b.ch <- 1 // runs on its own stack, no lock held there
+	}()
+}

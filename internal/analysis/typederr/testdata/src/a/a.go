@@ -1,0 +1,41 @@
+package a
+
+import (
+	"errors"
+	"io"
+)
+
+var ErrStale = errors.New("stale object")
+var ErrGone = errors.New("endpoint gone")
+
+func classifyBad(err error) int {
+	if err == ErrStale { // want `comparison err == ErrStale breaks on wrapped errors; use errors\.Is\(err, ErrStale\)`
+		return 1
+	}
+	if err != ErrGone { // want `comparison err != ErrGone breaks on wrapped errors; use !errors\.Is\(err, ErrGone\)`
+		return 2
+	}
+	switch err {
+	case ErrStale: // want `switch case ErrStale compares error identity and breaks on wrapped errors`
+		return 3
+	case nil:
+		return 4
+	}
+	return 0
+}
+
+func classifyGood(err error) int {
+	if errors.Is(err, ErrStale) {
+		return 1
+	}
+	if err == nil {
+		return 2
+	}
+	if err == io.EOF { // stdlib contract, not a predata sentinel
+		return 3
+	}
+	if ErrStale == ErrGone { // sentinel-to-sentinel identity is registry logic
+		return 4
+	}
+	return 0
+}

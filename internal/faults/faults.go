@@ -112,9 +112,15 @@ func (p Plan) Empty() bool {
 	return len(p.Crashes) == 0 && len(p.Transients) == 0 && len(p.Degrades) == 0
 }
 
-// Validate checks rule ranges: probabilities in [0, 1], degrade factors
-// >= 1, endpoint ids >= AnyEndpoint, crash dumps >= 0.
+// Validate checks rule ranges — probabilities in [0, 1], degrade factors
+// >= 1, endpoint ids >= AnyEndpoint, crash dumps >= 0 — and rejects
+// conflicting duplicates: a second crash for an endpoint would silently
+// shadow the first's dump, and a second transient rule with the same
+// endpoint and op makes the effective probability ambiguous. (Transient
+// rules with different scopes — say *:any plus 3:pull — deliberately
+// layer and stay legal.)
 func (p Plan) Validate() error {
+	crashed := make(map[int]bool, len(p.Crashes))
 	for _, c := range p.Crashes {
 		if c.Endpoint < 0 {
 			return fmt.Errorf("faults: crash endpoint %d must be >= 0", c.Endpoint)
@@ -122,7 +128,16 @@ func (p Plan) Validate() error {
 		if c.AtDump < 0 {
 			return fmt.Errorf("faults: crash dump %d must be >= 0", c.AtDump)
 		}
+		if crashed[c.Endpoint] {
+			return fmt.Errorf("faults: endpoint %d crashed twice; one crash directive per endpoint", c.Endpoint)
+		}
+		crashed[c.Endpoint] = true
 	}
+	type scope struct {
+		ep int
+		op Op
+	}
+	seen := make(map[scope]bool, len(p.Transients))
 	for _, t := range p.Transients {
 		if t.Endpoint < AnyEndpoint {
 			return fmt.Errorf("faults: transient endpoint %d invalid", t.Endpoint)
@@ -130,15 +145,20 @@ func (p Plan) Validate() error {
 		if t.Op < OpAny || t.Op > OpRecvCtl {
 			return fmt.Errorf("faults: transient op %d invalid", int(t.Op))
 		}
-		if t.Prob < 0 || t.Prob > 1 {
+		if !(t.Prob >= 0 && t.Prob <= 1) { // written to also reject NaN
 			return fmt.Errorf("faults: transient probability %g outside [0,1]", t.Prob)
 		}
+		s := scope{t.Endpoint, t.Op}
+		if seen[s] {
+			return fmt.Errorf("faults: duplicate transient rule for endpoint %d op %v", t.Endpoint, t.Op)
+		}
+		seen[s] = true
 	}
 	for _, d := range p.Degrades {
 		if d.Endpoint < AnyEndpoint {
 			return fmt.Errorf("faults: degrade endpoint %d invalid", d.Endpoint)
 		}
-		if d.Factor < 1 {
+		if !(d.Factor >= 1) { // written to also reject NaN
 			return fmt.Errorf("faults: degrade factor %g must be >= 1", d.Factor)
 		}
 		if d.FromDump < 0 || (d.ToDump >= 0 && d.ToDump < d.FromDump) {

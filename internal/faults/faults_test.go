@@ -54,15 +54,58 @@ func TestParsePlanErrors(t *testing.T) {
 		"degrade:1:0-2",
 		"degrade:1:2-0:4",
 		"degrade:1:0-2:0.5",
+		"transient:*:NaN",
+		"degrade:1:0-2:NaN",
+		"",
+		"   ",
+		";;",
+		"  ;; ",
+		"crash:1@0;crash:1@3",
+		"transient:2:0.1;transient:2:0.2",
 	}
 	for _, spec := range bad {
 		if _, err := ParsePlan(spec, 1); err == nil {
 			t.Errorf("spec %q accepted", spec)
 		}
 	}
-	p, err := ParsePlan("  ;; ", 1)
-	if err != nil || !p.Empty() {
-		t.Errorf("blank spec: plan %+v err %v", p, err)
+}
+
+func TestParsePlanErrorMessages(t *testing.T) {
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"", "contains no directives"},
+		{"  ;; ", "contains no directives"},
+		{"crash:1@0;crash:1@3", "crashed twice"},
+		{"transient:2:0.1;transient:2:0.2", "duplicate transient rule"},
+		{"transient:*:1.5", "outside [0,1]"},
+		{"boom", "missing ':'"},
+		{"explode:1:0.5", "unknown directive"},
+	}
+	for _, c := range cases {
+		_, err := ParsePlan(c.spec, 1)
+		if err == nil {
+			t.Errorf("spec %q accepted", c.spec)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("spec %q: error %q does not mention %q", c.spec, err, c.want)
+		}
+	}
+}
+
+func TestParsePlanLayeredTransientsLegal(t *testing.T) {
+	// Different scopes on the same endpoint layer deliberately: a blanket
+	// any-op rule plus an op-specific one must both survive validation.
+	for _, spec := range []string{
+		"transient:*:0.1;transient:*:0.3:pull",
+		"transient:2:0.1:pull;transient:2:0.2:send",
+		"crash:1@0;crash:2@0",
+	} {
+		if _, err := ParsePlan(spec, 1); err != nil {
+			t.Errorf("spec %q rejected: %v", spec, err)
+		}
 	}
 }
 

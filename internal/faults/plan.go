@@ -21,11 +21,13 @@ import (
 //	transient:*:0.2;crash:9@1;degrade:3:0-2:4
 func ParsePlan(spec string, seed int64) (Plan, error) {
 	p := Plan{Seed: seed}
+	directives := 0
 	for _, dir := range strings.Split(spec, ";") {
 		dir = strings.TrimSpace(dir)
 		if dir == "" {
 			continue
 		}
+		directives++
 		kind, rest, ok := strings.Cut(dir, ":")
 		if !ok {
 			return Plan{}, fmt.Errorf("faults: directive %q missing ':'", dir)
@@ -44,6 +46,12 @@ func ParsePlan(spec string, seed int64) (Plan, error) {
 		if err != nil {
 			return Plan{}, err
 		}
+	}
+	if directives == 0 {
+		// An all-blank spec (empty string, "  ", ";;") is a configuration
+		// mistake, not an empty fault load: callers that want no faults
+		// pass no plan at all (predata-run only parses a non-empty flag).
+		return Plan{}, fmt.Errorf("faults: plan %q contains no directives", spec)
 	}
 	if err := p.Validate(); err != nil {
 		return Plan{}, err
