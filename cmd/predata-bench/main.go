@@ -6,6 +6,7 @@
 //	predata-bench -experiment fig7 [-op sort|hist|hist2d|all]
 //	predata-bench -experiment fig8|fig9|fig10|fig11
 //	predata-bench -experiment chaos
+//	predata-bench -experiment overload [-json BENCH_overload.json]
 //	predata-bench -experiment ablations
 //	predata-bench -experiment all
 //
@@ -24,17 +25,19 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|chaos|ablations|all")
+		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|chaos|overload|ablations|all")
 	op := flag.String("op", "all", "fig7 operator: sort|hist|hist2d|all")
+	jsonPath := flag.String("json", "BENCH_overload.json",
+		"overload experiment: write the overload trajectory as JSON to this path (empty disables)")
 	flag.Parse()
 
-	if err := run(os.Stdout, *experiment, *op); err != nil {
+	if err := run(os.Stdout, *experiment, *op, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "predata-bench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, experiment, op string) error {
+func run(w io.Writer, experiment, op, jsonPath string) error {
 	ablations := func() error {
 		if err := bench.AblationScheduling(w); err != nil {
 			return err
@@ -67,6 +70,8 @@ func run(w io.Writer, experiment, op string) error {
 		return bench.DESCrossCheck(w)
 	case "chaos":
 		return bench.Chaos(w)
+	case "overload":
+		return bench.Overload(w, jsonPath)
 	case "ablations":
 		return ablations()
 	case "all":
@@ -74,6 +79,7 @@ func run(w io.Writer, experiment, op string) error {
 			func(w io.Writer) error { return bench.Fig7(w, op) },
 			bench.Fig8, bench.Fig9, bench.Fig10, bench.Fig11, bench.Offline,
 			bench.DESCrossCheck, bench.Chaos,
+			func(w io.Writer) error { return bench.Overload(w, jsonPath) },
 		} {
 			if err := f(w); err != nil {
 				return err

@@ -17,13 +17,14 @@ func TestRunEachExperiment(t *testing.T) {
 		{"fig10", "Pixie3D"},
 		{"fig11", "merged vs unmerged"},
 		{"offline", "in-transit"},
+		{"overload", "degradation ladder"},
 		{"ablations", "scheduled vs unscheduled"},
 	}
 	for _, c := range cases {
 		c := c
 		t.Run(c.experiment, func(t *testing.T) {
 			var buf bytes.Buffer
-			if err := run(&buf, c.experiment, "all"); err != nil {
+			if err := run(&buf, c.experiment, "all", ""); err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(buf.String(), c.marker) {
@@ -35,7 +36,7 @@ func TestRunEachExperiment(t *testing.T) {
 
 func TestRunAll(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "all", "all"); err != nil {
+	if err := run(&buf, "all", "all", ""); err != nil {
 		t.Fatal(err)
 	}
 	for _, marker := range []string{
@@ -50,14 +51,14 @@ func TestRunAll(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig99", "all"); err == nil {
+	if err := run(&buf, "fig99", "all", ""); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
 }
 
 func TestRunBadFig7Op(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run(&buf, "fig7", "nonsense"); err == nil {
+	if err := run(&buf, "fig7", "nonsense", ""); err == nil {
 		t.Fatal("unknown fig7 operator accepted")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"predata/internal/bp"
 	"predata/internal/faults"
 	"predata/internal/ffs"
+	"predata/internal/flowctl"
 	"predata/internal/mpi"
 	"predata/internal/ops"
 	"predata/internal/pfs"
@@ -43,16 +44,26 @@ func main() {
 		workers   = flag.Int("workers", 2, "map workers per staging rank")
 		faultPlan = flag.String("fault-plan", "", "fault plan, e.g. 'transient:*:0.1;crash:9@1;degrade:3:0-2:4' (staging mode only)")
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan's probabilistic draws")
+		bufferMB  = flag.Int("buffer-mb", -1,
+			"staging memory budget in MB (0 disables; -1 takes the ADIOS <buffer size-MB> when -adios-config is given, else 0)")
+		spillDir = flag.String("spill-dir", "", "directory for overload spill segments (default: system temp)")
 	)
 	flag.Parse()
 
 	if *adiosCfg != "" {
-		m, err := modeFromConfig(*adiosCfg, *app)
+		m, cfgBufMB, err := modeFromConfig(*adiosCfg, *app)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "predata-run:", err)
 			os.Exit(1)
 		}
 		*mode = m
+		// The XML buffer hint is the budget unless -buffer-mb overrides it.
+		if *bufferMB < 0 {
+			*bufferMB = cfgBufMB
+		}
+	}
+	if *bufferMB < 0 {
+		*bufferMB = 0
 	}
 	if *mode == "incompute" {
 		if *faultPlan != "" {
@@ -69,17 +80,22 @@ func main() {
 		fmt.Fprintln(os.Stderr, "predata-run: unknown -mode", *mode)
 		os.Exit(2)
 	}
-	if err := run(*app, *compute, *stagingN, *particles, *local, *dumps, *workers, *opsFlag, *faultPlan, *faultSeed); err != nil {
+	if err := run(*app, *compute, *stagingN, *particles, *local, *dumps, *workers, *opsFlag, *faultPlan, *faultSeed, *bufferMB, *spillDir); err != nil {
 		fmt.Fprintln(os.Stderr, "predata-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, compute, stagingN, particles, local, dumps, workers int, opsFlag, faultPlan string, faultSeed int64) error {
+func run(app string, compute, stagingN, particles, local, dumps, workers int, opsFlag, faultPlan string, faultSeed int64, bufferMB int, spillDir string) error {
 	opNames := strings.Split(opsFlag, ",")
 	factory, err := operatorFactory(app, opNames)
 	if err != nil {
 		return err
+	}
+	if spillDir != "" {
+		if err := os.MkdirAll(spillDir, 0o755); err != nil {
+			return fmt.Errorf("spill dir: %w", err)
+		}
 	}
 	cfg := predata.PipelineConfig{
 		NumCompute:      compute,
@@ -87,6 +103,8 @@ func run(app string, compute, stagingN, particles, local, dumps, workers int, op
 		Dumps:           dumps,
 		Engine:          staging.Config{Workers: workers},
 		PullConcurrency: 2,
+		BufferMB:        bufferMB,
+		Overload:        flowctl.Policy{SpillDir: spillDir},
 	}
 	if faultPlan != "" {
 		plan, err := faults.ParsePlan(faultPlan, faultSeed)
@@ -118,6 +136,12 @@ func run(app string, compute, stagingN, particles, local, dumps, workers int, op
 				rep.CrashedStaging, rep.RecoveryWall.Round(time.Microsecond))
 		}
 		fmt.Println()
+	}
+	if ov := res.Overload; ov != nil {
+		fmt.Printf("overload: budget %.0f MB/rank, %d throttles (%v waiting), %d chunks spilled (%.1f MB, %d replayed), %d shed, %d passed raw, peak %.1f MB, max level %s\n",
+			float64(ov.BudgetBytes)/(1<<20), ov.Throttles, ov.ThrottleWait.Round(time.Millisecond),
+			ov.SpilledChunks, float64(ov.SpilledBytes)/(1<<20), ov.ReplayedChunks,
+			ov.ShedChunks, ov.PassedChunks, float64(ov.PeakBytes)/(1<<20), flowctl.LevelName(ov.MaxLevel))
 	}
 	for rank, perDump := range res.StagingStats {
 		for dump, st := range perDump {
@@ -252,18 +276,19 @@ func operatorFactory(app string, names []string) (predata.OperatorFactory, error
 }
 
 // modeFromConfig reads an ADIOS XML configuration and returns the run
-// mode for the application's output group — the paper's "switch
-// configurations without changing application code" workflow. The gtc
-// workload uses group "particles"; pixie3d uses group "pixie".
-func modeFromConfig(path, app string) (string, error) {
+// mode and buffer budget for the application's output group — the
+// paper's "switch configurations without changing application code"
+// workflow. The gtc workload uses group "particles"; pixie3d uses group
+// "pixie".
+func modeFromConfig(path, app string) (string, int, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	defer f.Close()
 	cfg, err := adios.ParseConfig(f)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	group := "particles"
 	if app == "pixie3d" {
@@ -271,18 +296,18 @@ func modeFromConfig(path, app string) (string, error) {
 	}
 	gc, err := cfg.Group(group)
 	if err != nil {
-		return "", err
+		return "", 0, err
 	}
 	if gc.Schema.FieldIndex(varFor(app)) < 0 {
-		return "", fmt.Errorf("config group %q does not declare variable %q", group, varFor(app))
+		return "", 0, fmt.Errorf("config group %q does not declare variable %q", group, varFor(app))
 	}
 	switch gc.Method {
 	case adios.MethodStaging:
-		return "staging", nil
+		return "staging", cfg.BufferMB, nil
 	case adios.MethodMPIIO:
-		return "incompute", nil
+		return "incompute", cfg.BufferMB, nil
 	default:
-		return "", fmt.Errorf("config method %v unsupported by predata-run", gc.Method)
+		return "", 0, fmt.Errorf("config method %v unsupported by predata-run", gc.Method)
 	}
 }
 

@@ -4,28 +4,38 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+
+	"predata/internal/adios"
 )
 
 func TestRunGTCPipeline(t *testing.T) {
-	if err := run("gtc", 4, 2, 500, 8, 1, 2, "sort,hist,hist2d,index", "", 1); err != nil {
+	if err := run("gtc", 4, 2, 500, 8, 1, 2, "sort,hist,hist2d,index", "", 1, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPixiePipeline(t *testing.T) {
-	if err := run("pixie3d", 4, 1, 0, 8, 1, 1, "reorg", "", 1); err != nil {
+	if err := run("pixie3d", 4, 1, 0, 8, 1, 1, "reorg", "", 1, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownOperator(t *testing.T) {
-	if err := run("gtc", 2, 1, 10, 8, 1, 1, "sort,frobnicate", "", 1); err == nil {
+	if err := run("gtc", 2, 1, 10, 8, 1, 1, "sort,frobnicate", "", 1, 0, ""); err == nil {
 		t.Fatal("unknown operator accepted")
 	}
 }
 
 func TestRunMultipleDumps(t *testing.T) {
-	if err := run("gtc", 4, 2, 200, 8, 3, 2, "hist", "", 1); err != nil {
+	if err := run("gtc", 4, 2, 200, 8, 3, 2, "hist", "", 1, 0, ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithMemoryBudget(t *testing.T) {
+	// A 1 MB budget with ~1.3 MB arriving per staging rank per dump: the
+	// full CLI path must complete under admission control and spill.
+	if err := run("gtc", 8, 2, 20000, 8, 2, 1, "hist", "", 1, 1, t.TempDir()); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -33,15 +43,15 @@ func TestRunMultipleDumps(t *testing.T) {
 func TestRunFaultPlanChaos(t *testing.T) {
 	// Transients plus a staging crash at dump 1: the run must complete
 	// (degraded, not failed) under the full CLI path.
-	if err := run("gtc", 4, 2, 200, 8, 2, 2, "hist", "transient:*:0.05;crash:5@1", 42); err != nil {
+	if err := run("gtc", 4, 2, 200, 8, 2, 2, "hist", "transient:*:0.05;crash:5@1", 42, 0, ""); err != nil {
 		t.Fatal(err)
 	}
 	// A malformed plan fails before the pipeline launches.
-	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "explode:everything", 1); err == nil {
+	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "explode:everything", 1, 0, ""); err == nil {
 		t.Fatal("malformed fault plan accepted")
 	}
 	// A plan crashing a compute endpoint is rejected.
-	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "crash:0@0", 1); err == nil {
+	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "crash:0@0", 1, 0, ""); err == nil {
 		t.Fatal("compute-endpoint crash accepted")
 	}
 }
@@ -90,12 +100,16 @@ func TestModeFromConfig(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	mode, err := modeFromConfig(path, "gtc")
+	mode, bufMB, err := modeFromConfig(path, "gtc")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if mode != "staging" {
 		t.Fatalf("mode %q", mode)
+	}
+	// No <buffer> element: the ADIOS default budget applies.
+	if bufMB != adios.DefaultBufferMB {
+		t.Fatalf("buffer %d MB, want default %d", bufMB, adios.DefaultBufferMB)
 	}
 	// MPI method maps to the in-compute configuration.
 	doc2 := `<adios-config>
@@ -105,7 +119,7 @@ func TestModeFromConfig(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc2), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	mode, err = modeFromConfig(path, "gtc")
+	mode, _, err = modeFromConfig(path, "gtc")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -119,10 +133,10 @@ func TestModeFromConfig(t *testing.T) {
 	if err := os.WriteFile(path, []byte(doc3), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := modeFromConfig(path, "gtc"); err == nil {
+	if _, _, err := modeFromConfig(path, "gtc"); err == nil {
 		t.Fatal("missing variable accepted")
 	}
-	if _, err := modeFromConfig("/nonexistent/x.xml", "gtc"); err == nil {
+	if _, _, err := modeFromConfig("/nonexistent/x.xml", "gtc"); err == nil {
 		t.Fatal("missing file accepted")
 	}
 }

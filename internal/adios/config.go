@@ -60,10 +60,17 @@ type GroupConfig struct {
 	Method MethodKind
 }
 
+// DefaultBufferMB is the staging buffer budget applied when the
+// configuration omits the <buffer> element (or its size-MB attribute) —
+// ADIOS's historical 50 MB default.
+const DefaultBufferMB = 50
+
 // Config is a parsed ADIOS configuration.
 type Config struct {
 	Groups map[string]*GroupConfig
-	// BufferMB is the staging buffer budget hint.
+	// BufferMB is the staging buffer budget. Always positive: an explicit
+	// size-MB must be >= 1, and an absent <buffer> defaults to
+	// DefaultBufferMB.
 	BufferMB int
 }
 
@@ -91,7 +98,9 @@ type xmlMethod struct {
 }
 
 type xmlBuffer struct {
-	SizeMB int `xml:"size-MB,attr"`
+	// Pointer so an absent attribute (default the size) is distinguishable
+	// from an explicit size-MB="0" (rejected).
+	SizeMB *int `xml:"size-MB,attr"`
 }
 
 // varKind maps config var types to ffs kinds.
@@ -182,11 +191,13 @@ func ParseConfig(r io.Reader) (*Config, error) {
 		}
 		gc.Method = kind
 	}
-	if doc.Buffer != nil {
-		if doc.Buffer.SizeMB < 0 {
-			return nil, fmt.Errorf("adios: negative buffer size %d", doc.Buffer.SizeMB)
+	cfg.BufferMB = DefaultBufferMB
+	if doc.Buffer != nil && doc.Buffer.SizeMB != nil {
+		mb := *doc.Buffer.SizeMB
+		if mb <= 0 {
+			return nil, fmt.Errorf("adios: buffer size-MB must be positive, got %d", mb)
 		}
-		cfg.BufferMB = doc.Buffer.SizeMB
+		cfg.BufferMB = mb
 	}
 	return cfg, nil
 }

@@ -75,12 +75,43 @@ func TestParseConfigErrors(t *testing.T) {
 		{"method for unknown group", `<adios-config><adios-group name="g"><var name="x"/></adios-group><method group="h" method="MPI"/></adios-config>`},
 		{"unknown method", `<adios-config><adios-group name="g"><var name="x"/></adios-group><method group="g" method="TELEPATHY"/></adios-config>`},
 		{"negative buffer", `<adios-config><adios-group name="g"><var name="x"/></adios-group><buffer size-MB="-2"/></adios-config>`},
+		{"zero buffer", `<adios-config><adios-group name="g"><var name="x"/></adios-group><buffer size-MB="0"/></adios-config>`},
+		{"unparsable buffer", `<adios-config><adios-group name="g"><var name="x"/></adios-group><buffer size-MB="lots"/></adios-config>`},
 	}
 	for _, c := range cases {
 		c := c
 		t.Run(c.name, func(t *testing.T) {
 			if _, err := ParseConfig(strings.NewReader(c.doc)); err == nil {
 				t.Errorf("accepted: %s", c.doc)
+			}
+		})
+	}
+}
+
+// TestParseConfigBufferSizing: explicit sizes are honored, and an absent
+// <buffer> element (or one without size-MB) defaults to DefaultBufferMB
+// rather than silently disabling the staging budget.
+func TestParseConfigBufferSizing(t *testing.T) {
+	const groups = `<adios-group name="g"><var name="x"/></adios-group>`
+	cases := []struct {
+		name string
+		doc  string
+		want int
+	}{
+		{"explicit", `<adios-config>` + groups + `<buffer size-MB="7"/></adios-config>`, 7},
+		{"explicit one", `<adios-config>` + groups + `<buffer size-MB="1"/></adios-config>`, 1},
+		{"no buffer element", `<adios-config>` + groups + `</adios-config>`, DefaultBufferMB},
+		{"buffer without size", `<adios-config>` + groups + `<buffer/></adios-config>`, DefaultBufferMB},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.name, func(t *testing.T) {
+			cfg, err := ParseConfig(strings.NewReader(c.doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cfg.BufferMB != c.want {
+				t.Errorf("BufferMB = %d, want %d", cfg.BufferMB, c.want)
 			}
 		})
 	}

@@ -2,6 +2,9 @@ package bench
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"predata/internal/ops"
 	"predata/internal/staging"
 	"strings"
@@ -135,6 +138,33 @@ func TestChaosFaultExperiment(t *testing.T) {
 		err := Chaos(&buf)
 		return buf.String(), err
 	}, "fault-free", "transient", "crash", "lossless")
+}
+
+func TestOverloadExperiment(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_overload.json")
+	runFig(t, "overload", func() (string, error) {
+		var buf bytes.Buffer
+		err := Overload(&buf, jsonPath)
+		return buf.String(), err
+	}, "unconstrained", "spill", "shed", "lossless")
+	doc, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("overload json not written: %v", err)
+	}
+	var sum OverloadSummary
+	if err := json.Unmarshal(doc, &sum); err != nil {
+		t.Fatalf("overload json unparsable: %v", err)
+	}
+	if len(sum.Runs) != 4 {
+		t.Fatalf("overload json has %d runs, want 4", len(sum.Runs))
+	}
+	spill := sum.Runs[1]
+	if spill.SpilledBytes == 0 || spill.PeakBytes == 0 {
+		t.Errorf("spill leg missing trajectory: %+v", spill)
+	}
+	if shed := sum.Runs[2]; len(shed.ShedOperators) == 0 {
+		t.Errorf("shed leg records no shed operators: %+v", shed)
+	}
 }
 
 func TestAblationScheduling(t *testing.T) {

@@ -12,9 +12,16 @@
 package evpath
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 )
+
+// ErrClosed marks a submission to a stone that has been closed. Producers
+// blocked in Submit when the stone closes are woken and receive an error
+// wrapping ErrClosed rather than waiting forever.
+var ErrClosed = errors.New("evpath: stone closed")
 
 // Event is the unit of data flowing through the graph. Attrs carry
 // metadata (e.g. writer rank, timestep) that filter stones can route on
@@ -63,7 +70,7 @@ type Stone struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
-	queue   []*Event
+	queue   []queuedEvent
 	targets []*Stone
 	closed  bool
 	active  bool // run loop is processing a dequeued event
@@ -74,8 +81,22 @@ type Stone struct {
 	openUpstreams int
 
 	capacity int
+	// Byte weighting: when byteLimit > 0, Submit also blocks while the
+	// queued weight would exceed the limit, bounding memory rather than
+	// just event count.
+	byteLimit   int64
+	weigh       func(*Event) int64
+	queuedBytes int64
+	peakQueued  int64
 	// stats
 	in, out, dropped int64
+}
+
+// queuedEvent pairs a queued event with the byte weight it was admitted
+// under, so dequeue returns exactly what Submit charged.
+type queuedEvent struct {
+	e *Event
+	w int64
 }
 
 // StoneStats reports a stone's traffic counters.
@@ -83,6 +104,10 @@ type StoneStats struct {
 	In      int64 // events accepted
 	Out     int64 // events forwarded / delivered
 	Dropped int64 // events dropped by a filter
+	// QueuedBytes / PeakQueuedBytes track the byte-weighted queue depth
+	// (zero unless SetByteLimit installed a weigher).
+	QueuedBytes     int64
+	PeakQueuedBytes int64
 }
 
 const defaultCapacity = 64
@@ -178,18 +203,73 @@ func (s *Stone) LinkTo(target *Stone) error {
 	return nil
 }
 
+// SetByteLimit bounds the stone's queue by payload bytes in addition to
+// event count: Submit blocks while the queued weight would exceed limit.
+// weigh maps an event to its byte weight. An event heavier than the whole
+// limit is admitted when the queue is empty, so one oversized chunk
+// passes alone instead of wedging its producer. Install the limit before
+// events flow.
+func (s *Stone) SetByteLimit(limit int64, weigh func(*Event) int64) error {
+	if limit <= 0 {
+		return fmt.Errorf("evpath: byte limit %d must be positive", limit)
+	}
+	if weigh == nil {
+		return fmt.Errorf("evpath: nil event weigher")
+	}
+	s.mu.Lock()
+	s.byteLimit = limit
+	s.weigh = weigh
+	s.mu.Unlock()
+	return nil
+}
+
+// fullLocked reports whether admitting one more event of weight w must
+// wait. An empty queue always admits, whatever the weight.
+func (s *Stone) fullLocked(w int64) bool {
+	if len(s.queue) == 0 {
+		return false
+	}
+	if len(s.queue) >= s.capacity {
+		return true
+	}
+	return s.byteLimit > 0 && s.queuedBytes+w > s.byteLimit
+}
+
 // Submit enqueues an event, blocking when the stone's queue is full
-// (backpressure). Submitting to a closed stone is an error.
+// (backpressure). Submitting to a closed stone returns an error wrapping
+// ErrClosed.
 func (s *Stone) Submit(e *Event) error {
+	return s.SubmitContext(context.Background(), e)
+}
+
+// SubmitContext is Submit with a deadline: the backpressure wait ends
+// when ctx is done, returning ctx's error instead of blocking forever.
+func (s *Stone) SubmitContext(ctx context.Context, e *Event) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for len(s.queue) >= s.capacity && !s.closed {
-		s.cond.Wait()
+	var w int64
+	if s.weigh != nil {
+		w = s.weigh(e)
+	}
+	if s.fullLocked(w) && !s.closed && ctx.Err() == nil {
+		// Arm a wake-up so the cond wait observes ctx expiry.
+		stop := context.AfterFunc(ctx, s.cond.Broadcast)
+		defer stop()
+		for s.fullLocked(w) && !s.closed && ctx.Err() == nil {
+			s.cond.Wait()
+		}
 	}
 	if s.closed {
-		return fmt.Errorf("evpath: submit to closed stone %d", s.id)
+		return fmt.Errorf("evpath: submit to closed stone %d: %w", s.id, ErrClosed)
 	}
-	s.queue = append(s.queue, e)
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("evpath: submit to stone %d: %w", s.id, err)
+	}
+	s.queue = append(s.queue, queuedEvent{e: e, w: w})
+	s.queuedBytes += w
+	if s.queuedBytes > s.peakQueued {
+		s.peakQueued = s.queuedBytes
+	}
 	s.in++
 	s.cond.Broadcast()
 	return nil
@@ -207,8 +287,10 @@ func (s *Stone) run() {
 			s.mu.Unlock()
 			return
 		}
-		e := s.queue[0]
+		qe := s.queue[0]
 		s.queue = s.queue[1:]
+		s.queuedBytes -= qe.w
+		e := qe.e
 		s.active = true
 		s.cond.Broadcast()
 		targets := s.targets
@@ -282,7 +364,13 @@ func (s *Stone) Err() error {
 func (s *Stone) Stats() StoneStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return StoneStats{In: s.in, Out: s.out, Dropped: s.dropped}
+	return StoneStats{
+		In:              s.in,
+		Out:             s.out,
+		Dropped:         s.dropped,
+		QueuedBytes:     s.queuedBytes,
+		PeakQueuedBytes: s.peakQueued,
+	}
 }
 
 // Close drains and stops every stone in topological order — sources
@@ -335,6 +423,20 @@ func (m *Manager) Close() error {
 			}
 		}
 		if !progress {
+			// The cycle cannot be drained, but the stones must still be
+			// closed: returning with them open would leave producers
+			// blocked in Submit forever. Mark every stuck stone closed
+			// first — a run loop may itself be blocked submitting around
+			// the cycle — then wait for the loops to terminate.
+			for _, s := range remaining {
+				s.mu.Lock()
+				s.closed = true
+				s.mu.Unlock()
+				s.cond.Broadcast()
+			}
+			for _, s := range remaining {
+				<-s.done
+			}
 			return fmt.Errorf("evpath: cannot drain cyclic stone graph (%d stones stuck)", len(remaining))
 		}
 		remaining = next

@@ -1,0 +1,238 @@
+package evpath
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// weighData weighs events by the length of their []byte payload.
+func weighData(e *Event) int64 {
+	if b, ok := e.Data.([]byte); ok {
+		return int64(len(b))
+	}
+	return 0
+}
+
+func TestByteLimitBlocksProducer(t *testing.T) {
+	m := NewManager()
+	release := make(chan struct{})
+	term, err := m.NewTerminalStone(func(*Event) error {
+		<-release
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("NewTerminalStone: %v", err)
+	}
+	if err := term.SetByteLimit(80, weighData); err != nil {
+		t.Fatalf("SetByteLimit: %v", err)
+	}
+
+	// First event is dequeued into the blocked handler; the second sits
+	// alone in the queue (empty queue always admits); the third would
+	// push the queued weight to 100 > 80 and must block even though the
+	// count capacity is far off.
+	for i := 0; i < 2; i++ {
+		if err := term.Submit(&Event{Data: make([]byte, 50)}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	blocked := make(chan error, 1)
+	go func() {
+		blocked <- term.Submit(&Event{Data: make([]byte, 50)})
+	}()
+	select {
+	case err := <-blocked:
+		t.Fatalf("third Submit returned early (err=%v); byte limit should block", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatalf("third Submit after drain: %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("third Submit still blocked after handler drained")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if st := term.Stats(); st.PeakQueuedBytes < 50 {
+		t.Fatalf("peak queued bytes = %d, want >= 50", st.PeakQueuedBytes)
+	}
+}
+
+func TestByteLimitOversizedEventPassesAlone(t *testing.T) {
+	m := NewManager()
+	var got atomic.Int64
+	term, _ := m.NewTerminalStone(func(e *Event) error {
+		got.Add(int64(len(e.Data.([]byte))))
+		return nil
+	})
+	if err := term.SetByteLimit(10, weighData); err != nil {
+		t.Fatalf("SetByteLimit: %v", err)
+	}
+	// 50-byte event against a 10-byte limit: admitted when queue empty.
+	if err := term.Submit(&Event{Data: make([]byte, 50)}); err != nil {
+		t.Fatalf("oversized Submit: %v", err)
+	}
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if got.Load() != 50 {
+		t.Fatalf("delivered %d bytes, want 50", got.Load())
+	}
+}
+
+func TestSetByteLimitValidation(t *testing.T) {
+	m := NewManager()
+	defer m.Close()
+	s, _ := m.NewPassStone()
+	if err := s.SetByteLimit(0, weighData); err == nil {
+		t.Fatal("SetByteLimit(0) accepted")
+	}
+	if err := s.SetByteLimit(-1, weighData); err == nil {
+		t.Fatal("SetByteLimit(-1) accepted")
+	}
+	if err := s.SetByteLimit(10, nil); err == nil {
+		t.Fatal("SetByteLimit(nil weigher) accepted")
+	}
+}
+
+func TestSubmitContextCancel(t *testing.T) {
+	m := NewManager()
+	release := make(chan struct{})
+	term, _ := m.NewTerminalStone(func(*Event) error {
+		<-release
+		return nil
+	})
+	if err := term.SetByteLimit(10, weighData); err != nil {
+		t.Fatalf("SetByteLimit: %v", err)
+	}
+	// Fill: one in the handler, one queued at the limit.
+	for i := 0; i < 2; i++ {
+		if err := term.Submit(&Event{Data: make([]byte, 10)}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	err := term.SubmitContext(ctx, &Event{Data: make([]byte, 10)})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("SubmitContext err = %v, want DeadlineExceeded", err)
+	}
+	close(release)
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestBlockedProducersRaceClose is the regression test for the
+// producer-deadlock bug: producers blocked in Submit while the stone
+// closes must all wake and report ErrClosed, never hang.
+func TestBlockedProducersRaceClose(t *testing.T) {
+	m := NewManager()
+	release := make(chan struct{})
+	term, _ := m.NewTerminalStone(func(*Event) error {
+		<-release
+		return nil
+	})
+	if err := term.SetByteLimit(1, weighData); err != nil {
+		t.Fatalf("SetByteLimit: %v", err)
+	}
+	// Wedge the stone: one event in the handler, one queued.
+	for i := 0; i < 2; i++ {
+		if err := term.Submit(&Event{Data: []byte{1}}); err != nil {
+			t.Fatalf("Submit %d: %v", i, err)
+		}
+	}
+	const producers = 8
+	errs := make(chan error, producers)
+	var started sync.WaitGroup
+	for i := 0; i < producers; i++ {
+		started.Add(1)
+		go func() {
+			started.Done()
+			errs <- term.Submit(&Event{Data: []byte{2}})
+		}()
+	}
+	started.Wait()
+	time.Sleep(10 * time.Millisecond) // let producers reach the cond wait
+	close(release)                    // unwedge the handler so Close can drain
+	closed := make(chan error, 1)
+	go func() { closed <- m.Close() }()
+
+	for i := 0; i < producers; i++ {
+		select {
+		case err := <-errs:
+			// A producer either got its event in before the drain finished
+			// or was woken by the close; a closed-stone error must wrap
+			// ErrClosed.
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Fatalf("producer error = %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("producer %d still blocked after Close — deadlock", i)
+		}
+	}
+	select {
+	case err := <-closed:
+		if err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close never returned")
+	}
+}
+
+// TestCyclicCloseWakesProducers covers the Close error path: a cyclic
+// graph cannot drain, but Close must still force-close the stones so a
+// blocked producer is woken with ErrClosed instead of hanging forever.
+func TestCyclicCloseWakesProducers(t *testing.T) {
+	m := NewManager()
+	a, _ := m.NewPassStone()
+	b, _ := m.NewPassStone()
+	if err := a.LinkTo(b); err != nil {
+		t.Fatalf("LinkTo: %v", err)
+	}
+	if err := b.LinkTo(a); err != nil {
+		t.Fatalf("LinkTo: %v", err)
+	}
+	if err := a.SetByteLimit(1, weighData); err != nil {
+		t.Fatalf("SetByteLimit: %v", err)
+	}
+
+	// Saturate the cycle so a producer blocks on a's byte limit.
+	blocked := make(chan error, 4)
+	for i := 0; i < 4; i++ {
+		go func() {
+			blocked <- a.Submit(&Event{Data: []byte{1, 2, 3}})
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+
+	closed := make(chan error, 1)
+	go func() { closed <- m.Close() }()
+	select {
+	case err := <-closed:
+		if err == nil {
+			t.Fatal("Close of cyclic graph succeeded; want error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close hung on cyclic graph")
+	}
+	for i := 0; i < 4; i++ {
+		select {
+		case err := <-blocked:
+			if err != nil && !errors.Is(err, ErrClosed) {
+				t.Fatalf("producer error = %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("producer %d still blocked after cyclic Close — deadlock", i)
+		}
+	}
+}

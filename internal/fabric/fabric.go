@@ -19,6 +19,7 @@
 package fabric
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -390,6 +391,15 @@ func (e *Endpoint) Interference() time.Duration {
 // phase blocks until the phase ends. On an unscheduled fabric it proceeds
 // immediately and charges the source the configured interference penalty.
 func (e *Endpoint) Pull(h Handle) ([]byte, time.Duration, error) {
+	return e.PullContext(context.Background(), h)
+}
+
+// PullContext is Pull bounded by ctx: a pull deferred behind a source
+// busy phase returns ctx's error instead of blocking forever, leaving the
+// region exposed for a later retry. Once the region is consumed the
+// transfer always completes — cancellation during the paced wait only
+// stops the pacing early, never loses the data.
+func (e *Endpoint) PullContext(ctx context.Context, h Handle) ([]byte, time.Duration, error) {
 	f := e.f
 	if h.Endpoint < 0 || h.Endpoint >= len(f.eps) {
 		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d outside fabric", h.Endpoint)
@@ -401,10 +411,17 @@ func (e *Endpoint) Pull(h Handle) ([]byte, time.Duration, error) {
 	}
 	f.mu.Lock()
 	src := f.eps[h.Endpoint]
-	if f.cfg.Scheduled {
-		for src.busyDepth > 0 && !src.closed && !src.failed {
+	if f.cfg.Scheduled && src.busyDepth > 0 {
+		// Arm a wake-up so the deferred-pull wait observes ctx expiry.
+		stop := context.AfterFunc(ctx, f.cond.Broadcast)
+		for src.busyDepth > 0 && !src.closed && !src.failed && ctx.Err() == nil {
 			f.cond.Wait()
 		}
+		stop()
+	}
+	if err := ctx.Err(); err != nil && !src.failed && !src.closed {
+		f.mu.Unlock()
+		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d: %w", h.Endpoint, err)
 	}
 	if src.failed {
 		f.mu.Unlock()
@@ -440,7 +457,15 @@ func (e *Endpoint) Pull(h Handle) ([]byte, time.Duration, error) {
 	out := make([]byte, len(reg.buf))
 	copy(out, reg.buf)
 	if f.cfg.PaceScale > 0 {
-		time.Sleep(time.Duration(float64(d) * f.cfg.PaceScale))
+		// The bytes are already copied and the source region consumed, so
+		// ctx expiry only cuts the modeled pacing short — the pull still
+		// succeeds.
+		pace := time.NewTimer(time.Duration(float64(d) * f.cfg.PaceScale))
+		select {
+		case <-pace.C:
+		case <-ctx.Done():
+			pace.Stop()
+		}
 	}
 
 	f.mu.Lock()

@@ -1,0 +1,251 @@
+// Package flowctl implements the staging area's memory-budget and
+// overload-protection machinery: a byte-denominated accountant with
+// high/low watermarks (Budget/Lease), credit-based admission of incoming
+// chunks, a spill-to-disk overflow queue of BP-style temp segments, and
+// the degradation ladder the staging engine climbs under persistent
+// overload — throttle, spill, shed optional operators, raw pass-through.
+//
+// The paper's central resource constraint motivates all of it: staging
+// nodes are provisioned at 64:1–128:1 compute:staging ratios with a
+// small fixed memory budget, yet must absorb bursty multi-GB dumps
+// without perturbing the simulation. The accountant makes the
+// `<buffer size-MB>` hint of the ADIOS configuration binding; the ladder
+// makes running out of budget a graceful, observable event instead of
+// unbounded growth or a wedged producer.
+package flowctl
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"predata/internal/metrics"
+)
+
+// Budget is a byte-denominated memory accountant with watermark-based
+// overload signaling. Callers Acquire a Lease before admitting bytes into
+// memory and Release it when the bytes leave (after the engine has mapped
+// the chunk). Admission is FIFO: a large request blocks later small ones
+// rather than starving behind them.
+//
+// Two rules keep the accountant live and bound its peak:
+//
+//   - a request larger than the whole capacity is granted once the
+//     accountant is idle (used == 0), so one oversized chunk passes alone
+//     instead of deadlocking;
+//   - Overdraft grants immediately regardless of pressure, for the spill
+//     path's transient pull buffer. Spills serialize on one overdraft at
+//     a time, so the accounted peak never exceeds capacity + one chunk.
+type Budget struct {
+	capacity int64
+	high     int64 // overload latches on at used >= high
+	low      int64 // ...and off at used <= low (hysteresis)
+
+	mu       sync.Mutex
+	used     *metrics.Gauge
+	overHigh bool
+	waiters  []*waiter
+
+	throttles    metrics.Counter
+	throttleWait int64 // nanoseconds, guarded by mu
+}
+
+type waiter struct {
+	n       int64
+	ready   chan struct{} // closed by the releaser on grant
+	granted bool
+}
+
+// BudgetStats snapshots the accountant's counters.
+type BudgetStats struct {
+	Capacity int64
+	Used     int64
+	// Peak is the high-water mark of accounted bytes, overdrafts included.
+	Peak int64
+	// Throttles counts Acquire calls that had to wait for credits.
+	Throttles int64
+	// ThrottleWait is the total wall time Acquire calls spent waiting.
+	ThrottleWait time.Duration
+}
+
+// NewBudget returns an accountant over capacity bytes with the given
+// watermark fractions (high latches overload on, low latches it off).
+func NewBudget(capacity int64, highFrac, lowFrac float64) (*Budget, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("flowctl: budget capacity %d must be positive", capacity)
+	}
+	if highFrac <= 0 || highFrac > 1 || lowFrac < 0 || lowFrac >= highFrac {
+		return nil, fmt.Errorf("flowctl: watermarks low=%g high=%g must satisfy 0 <= low < high <= 1",
+			lowFrac, highFrac)
+	}
+	return &Budget{
+		capacity: capacity,
+		high:     int64(float64(capacity) * highFrac),
+		low:      int64(float64(capacity) * lowFrac),
+		used:     &metrics.Gauge{},
+	}, nil
+}
+
+// Capacity returns the budget in bytes.
+func (b *Budget) Capacity() int64 { return b.capacity }
+
+// fitsLocked reports whether n more bytes can be admitted now. A request
+// that alone exceeds the capacity is admitted when the budget is idle.
+func (b *Budget) fitsLocked(n int64) bool {
+	used := b.used.Value()
+	return used+n <= b.capacity || used == 0
+}
+
+// admitLocked accounts n admitted bytes and updates the overload latch.
+func (b *Budget) admitLocked(n int64) {
+	if b.used.Add(n) >= b.high {
+		b.overHigh = true
+	}
+}
+
+// Acquire blocks until n bytes of credit are available (or ctx is done)
+// and returns a Lease over them. A zero-byte request returns an inert
+// lease immediately. Waiters are served FIFO.
+func (b *Budget) Acquire(ctx context.Context, n int64) (*Lease, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("flowctl: Acquire of negative size %d", n)
+	}
+	if n == 0 {
+		return &Lease{}, nil
+	}
+	b.mu.Lock()
+	if len(b.waiters) == 0 && b.fitsLocked(n) {
+		b.admitLocked(n)
+		b.mu.Unlock()
+		return &Lease{b: b, n: n}, nil
+	}
+	w := &waiter{n: n, ready: make(chan struct{})}
+	b.waiters = append(b.waiters, w)
+	b.throttles.Inc()
+	start := time.Now()
+	b.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		b.noteWait(start)
+		return &Lease{b: b, n: n}, nil
+	case <-ctx.Done():
+	}
+	// Cancelled — but a concurrent release may have granted us already;
+	// a grant observed here wins (the bytes are accounted to us).
+	b.mu.Lock()
+	if w.granted {
+		b.mu.Unlock()
+		b.noteWait(start)
+		return &Lease{b: b, n: n}, nil
+	}
+	for i, q := range b.waiters {
+		if q == w {
+			b.waiters = append(b.waiters[:i], b.waiters[i+1:]...)
+			break
+		}
+	}
+	b.mu.Unlock()
+	b.noteWait(start)
+	return nil, fmt.Errorf("flowctl: waiting for %d bytes of budget credit: %w", n, ctx.Err())
+}
+
+func (b *Budget) noteWait(start time.Time) {
+	d := time.Since(start).Nanoseconds()
+	b.mu.Lock()
+	b.throttleWait += d
+	b.mu.Unlock()
+}
+
+// TryAcquire grants n bytes immediately or reports failure without
+// waiting. Pending FIFO waiters are never overtaken.
+func (b *Budget) TryAcquire(n int64) (*Lease, bool) {
+	if n <= 0 {
+		return &Lease{}, n == 0
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.waiters) > 0 || !b.fitsLocked(n) {
+		return nil, false
+	}
+	b.admitLocked(n)
+	return &Lease{b: b, n: n}, true
+}
+
+// Overdraft accounts n bytes immediately regardless of pressure. It
+// exists for the spill path's transient pull buffer: the caller holds the
+// overdraft only while moving the bytes to disk, and spills serialize so
+// at most one overdraft is outstanding — bounding the accountant's peak
+// at capacity + one chunk.
+func (b *Budget) Overdraft(n int64) *Lease {
+	if n <= 0 {
+		return &Lease{}
+	}
+	b.mu.Lock()
+	b.admitLocked(n)
+	b.mu.Unlock()
+	return &Lease{b: b, n: n}
+}
+
+// release returns n bytes and hands credits to FIFO waiters in order.
+func (b *Budget) release(n int64) {
+	b.mu.Lock()
+	if b.used.Add(-n) <= b.low {
+		b.overHigh = false
+	}
+	var granted []*waiter
+	for len(b.waiters) > 0 && b.fitsLocked(b.waiters[0].n) {
+		w := b.waiters[0]
+		b.waiters = b.waiters[1:]
+		w.granted = true
+		b.admitLocked(w.n)
+		granted = append(granted, w)
+	}
+	b.mu.Unlock()
+	for _, w := range granted {
+		close(w.ready)
+	}
+}
+
+// Overloaded reports the hysteresis latch: true once used bytes reach the
+// high watermark, false again only after they fall to the low watermark.
+// The ladder uses it to decide when spill mode may relax.
+func (b *Budget) Overloaded() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.overHigh
+}
+
+// Stats snapshots the accountant.
+func (b *Budget) Stats() BudgetStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BudgetStats{
+		Capacity:     b.capacity,
+		Used:         b.used.Value(),
+		Peak:         b.used.Peak(),
+		Throttles:    b.throttles.Value(),
+		ThrottleWait: time.Duration(b.throttleWait),
+	}
+}
+
+// Lease is a grant of accounted bytes. Release is idempotent and safe to
+// call concurrently with other budget operations. The zero Lease is an
+// inert no-op.
+type Lease struct {
+	b    *Budget
+	n    int64
+	once sync.Once
+}
+
+// Bytes reports the lease size.
+func (l *Lease) Bytes() int64 { return l.n }
+
+// Release returns the lease's bytes to the budget.
+func (l *Lease) Release() {
+	if l == nil || l.b == nil {
+		return
+	}
+	l.once.Do(func() { l.b.release(l.n) })
+}

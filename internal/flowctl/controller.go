@@ -1,0 +1,489 @@
+package flowctl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+// Ladder levels. Under persistent overload a dump escalates monotonically
+// through spill and shed to pass-through; only the spill level relaxes
+// back to normal (when the budget falls below its low watermark), because
+// shedding and pass-through have already degraded the dump's results.
+const (
+	// LevelNormal admits chunks against the budget, waiting up to the
+	// policy's patience for credits.
+	LevelNormal = iota
+	// LevelSpill admits what fits immediately and spills the rest to a
+	// disk segment, replayed before Reduce — lossless, slower.
+	LevelSpill
+	// LevelShed additionally starves optional operators down to sampled
+	// input; their results are flagged Degraded.
+	LevelShed
+	// LevelPass stops processing entirely: chunks bypass the operators
+	// and go raw to the parallel file system. Data survives; results for
+	// this dump's tail do not.
+	LevelPass
+)
+
+// LevelName returns the config/report spelling of a ladder level.
+func LevelName(level int) string {
+	switch level {
+	case LevelNormal:
+		return "normal"
+	case LevelSpill:
+		return "spill"
+	case LevelShed:
+		return "shed"
+	case LevelPass:
+		return "pass"
+	default:
+		return fmt.Sprintf("level(%d)", level)
+	}
+}
+
+// Decision is the fate Admit assigns one incoming chunk.
+type Decision int
+
+// Admission decisions.
+const (
+	// DecideProcess: credits held — pull and stream through the engine.
+	DecideProcess Decision = iota
+	// DecideSpill: no credits — pull under a serialized overdraft and
+	// spill to the overflow segment.
+	DecideSpill
+	// DecidePass: ladder exhausted — pull and write raw to the PFS sink.
+	DecidePass
+)
+
+// PassSinkFunc receives raw packed chunks during pass-through. Sinks are
+// called from several pull workers and must be safe for concurrent use.
+type PassSinkFunc func(writer int, timestep int64, payload []byte) error
+
+// Policy tunes the budget and the ladder. The zero value of every field
+// takes a default; BudgetBytes must be positive.
+type Policy struct {
+	// BudgetBytes is the accountant's capacity — the staging rank's
+	// in-memory allowance for in-flight chunk data (the ADIOS
+	// <buffer size-MB> hint made binding).
+	BudgetBytes int64
+	// HighWater / LowWater are the overload latch fractions of
+	// BudgetBytes. Defaults 0.9 and 0.5.
+	HighWater float64
+	LowWater  float64
+	// Patience is how long a normal-level admission waits for credits
+	// before the dump escalates to spilling. Default 20ms.
+	Patience time.Duration
+	// SpillLimitBytes caps the bytes one dump may spill before escalating
+	// to shedding. Default 8x BudgetBytes.
+	SpillLimitBytes int64
+	// ShedSample is the sampling stride while shedding: optional
+	// operators see one in ShedSample chunks. Default 8.
+	ShedSample int
+	// PassLimitBytes caps the spilled bytes before the dump escalates to
+	// raw pass-through. Default 4x SpillLimitBytes.
+	PassLimitBytes int64
+	// SpillDir hosts the temp segments ("" = OS temp dir).
+	SpillDir string
+	// PassSink consumes raw chunks during pass-through. Nil writes them
+	// to a retained segment file next to the spill segments.
+	PassSink PassSinkFunc
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.HighWater == 0 {
+		p.HighWater = 0.9
+	}
+	if p.LowWater == 0 {
+		p.LowWater = 0.5
+	}
+	if p.Patience <= 0 {
+		p.Patience = 20 * time.Millisecond
+	}
+	if p.SpillLimitBytes <= 0 {
+		p.SpillLimitBytes = 8 * p.BudgetBytes
+	}
+	if p.ShedSample < 1 {
+		p.ShedSample = 8
+	}
+	if p.PassLimitBytes <= 0 {
+		p.PassLimitBytes = 4 * p.SpillLimitBytes
+	}
+	return p
+}
+
+// OverloadStats counts one dump's throttle/spill/shed/pass decisions —
+// the overload analogue of the fault layer's FaultReport counters.
+type OverloadStats struct {
+	// Throttles and ThrottleWait count admissions that waited for budget
+	// credits, and the wall time they spent waiting.
+	Throttles    int64
+	ThrottleWait time.Duration
+	// SpilledChunks/SpilledBytes went through the disk overflow queue;
+	// ReplayedChunks of them were streamed back before Reduce (always all
+	// of them unless the dump escalated to pass-through or failed).
+	SpilledChunks  int64
+	SpilledBytes   int64
+	ReplayedChunks int64
+	// SampledChunks were shown to optional operators while shedding;
+	// ShedChunks were withheld from them.
+	SampledChunks int64
+	ShedChunks    int64
+	// PassedChunks/PassedBytes bypassed the operators entirely, raw to
+	// the PFS sink.
+	PassedChunks int64
+	PassedBytes  int64
+	// PeakBytes is the accountant's high-water mark (rank lifetime, not
+	// just this dump).
+	PeakBytes int64
+	// MaxLevel is the highest ladder level the dump reached.
+	MaxLevel int
+}
+
+// Controller owns one staging rank's budget and stamps out per-dump flow
+// state. One controller per server; dumps on a rank are served serially.
+type Controller struct {
+	pol    Policy
+	budget *Budget
+}
+
+// NewController validates the policy and builds the rank's accountant.
+func NewController(pol Policy) (*Controller, error) {
+	pol = pol.withDefaults()
+	b, err := NewBudget(pol.BudgetBytes, pol.HighWater, pol.LowWater)
+	if err != nil {
+		return nil, err
+	}
+	return &Controller{pol: pol, budget: b}, nil
+}
+
+// Budget exposes the rank's accountant.
+func (c *Controller) Budget() *Budget { return c.budget }
+
+// Policy returns the resolved (defaulted) policy.
+func (c *Controller) Policy() Policy { return c.pol }
+
+// StartDump opens per-dump flow state: ladder level, spill segment, and
+// decision counters.
+func (c *Controller) StartDump(timestep int64) *DumpFlow {
+	return &DumpFlow{
+		c:         c,
+		timestep:  timestep,
+		base:      c.budget.Stats(),
+		spillSlot: make(chan struct{}, 1),
+	}
+}
+
+// DumpFlow tracks one dump's ladder state on one staging rank.
+type DumpFlow struct {
+	c        *Controller
+	timestep int64
+	base     BudgetStats // budget counters at StartDump, for per-dump deltas
+
+	// spillSlot serializes overdraft pulls: at most one spilling chunk is
+	// in memory at a time, bounding the accountant's peak at capacity +
+	// one chunk. A channel token (not a mutex) so waiting is ctx-aware.
+	spillSlot chan struct{}
+
+	mu        sync.Mutex
+	level     int
+	maxLevel  int
+	spilled   int64 // payload bytes spilled this dump
+	shedTick  int64 // sampling counter while shedding
+	seg       *SegmentWriter
+	passSeg   *SegmentWriter
+	passPath  string
+	stats     OverloadStats
+	finished  bool
+	finalStat OverloadStats
+}
+
+// Level returns the current ladder level.
+func (df *DumpFlow) Level() int {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	return df.level
+}
+
+// escalateLocked raises the ladder level (never lowers it).
+func (df *DumpFlow) escalateLocked(level int) {
+	if level > df.level {
+		df.level = level
+	}
+	if df.level > df.maxLevel {
+		df.maxLevel = df.level
+	}
+}
+
+// decideLocked resolves the level the next admission runs at, relaxing
+// spill mode back to normal once the budget has drained below its low
+// watermark. Shed and pass are sticky for the dump.
+func (df *DumpFlow) decideLocked() int {
+	if df.level == LevelSpill && !df.c.budget.Overloaded() {
+		df.level = LevelNormal
+	}
+	return df.level
+}
+
+// Admission is the outcome of admitting one chunk: a decision plus the
+// resources backing it (a budget lease for DecideProcess, a serialized
+// overdraft for DecideSpill/DecidePass). Exactly one of Keep, Spill,
+// Pass, or Abort must be called.
+type Admission struct {
+	df       *DumpFlow
+	decision Decision
+	lease    *Lease // process: real credits; spill/pass: overdraft
+	slot     bool   // holds df.spillSlot
+	done     bool
+}
+
+// Decision returns the admission's fate.
+func (a *Admission) Decision() Decision { return a.decision }
+
+// Admit decides the fate of one incoming chunk of n bytes, blocking at
+// most the policy's patience (and never past ctx). The returned Admission
+// carries the credits or overdraft backing the decision.
+func (df *DumpFlow) Admit(ctx context.Context, n int64) (*Admission, error) {
+	df.mu.Lock()
+	level := df.decideLocked()
+	df.mu.Unlock()
+
+	if level == LevelNormal {
+		pctx, cancel := context.WithTimeout(ctx, df.c.pol.Patience)
+		lease, err := df.c.budget.Acquire(pctx, n)
+		cancel()
+		if err == nil {
+			return &Admission{df: df, decision: DecideProcess, lease: lease}, nil
+		}
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("flowctl: admission at dump %d: %w", df.timestep, ctx.Err())
+		}
+		// Patience exhausted: the budget cannot absorb the burst. Climb
+		// to spill and fall through to the overflow path for this chunk.
+		df.mu.Lock()
+		df.escalateLocked(LevelSpill)
+		level = df.level
+		df.mu.Unlock()
+	}
+
+	// Spill/shed/pass levels: admit immediately what fits, overflow the
+	// rest without waiting.
+	if level < LevelPass {
+		if lease, ok := df.c.budget.TryAcquire(n); ok {
+			return &Admission{df: df, decision: DecideProcess, lease: lease}, nil
+		}
+	}
+	// Overflow: serialize on the spill slot, then take an overdraft for
+	// the transient pull buffer.
+	select {
+	case df.spillSlot <- struct{}{}:
+	case <-ctx.Done():
+		return nil, fmt.Errorf("flowctl: waiting for spill slot at dump %d: %w", df.timestep, ctx.Err())
+	}
+	decision := DecideSpill
+	if level >= LevelPass {
+		decision = DecidePass
+	}
+	return &Admission{
+		df:       df,
+		decision: decision,
+		lease:    df.c.budget.Overdraft(n),
+		slot:     true,
+	}, nil
+}
+
+// Keep finalizes a DecideProcess admission, returning the release hook to
+// attach to the decoded chunk — called by the engine once the last
+// operator's Map has seen it.
+func (a *Admission) Keep() (release func(), err error) {
+	if a.decision != DecideProcess || a.done {
+		return nil, errors.New("flowctl: Keep on a non-process or finished admission")
+	}
+	a.done = true
+	return a.lease.Release, nil
+}
+
+// finish releases the admission's overdraft and spill slot.
+func (a *Admission) finish() {
+	a.done = true
+	a.lease.Release()
+	if a.slot {
+		a.slot = false
+		<-a.df.spillSlot
+	}
+}
+
+// Abort releases the admission's resources without consuming a chunk —
+// the pull failed or the dump is dying. Safe on any decision.
+func (a *Admission) Abort() {
+	if a.done {
+		return
+	}
+	a.finish()
+}
+
+// Spill finalizes a DecideSpill admission: append the pulled payload to
+// the dump's overflow segment, release the overdraft, and escalate the
+// ladder when the spill volume crosses the policy's limits.
+func (a *Admission) Spill(writer int, timestep int64, payload []byte) error {
+	if a.decision != DecideSpill || a.done {
+		return errors.New("flowctl: Spill on a non-spill or finished admission")
+	}
+	df := a.df
+	df.mu.Lock()
+	if df.seg == nil {
+		seg, err := CreateSegment(df.c.pol.SpillDir, "predata-spill-*.seg")
+		if err != nil {
+			df.mu.Unlock()
+			a.finish()
+			return err
+		}
+		df.seg = seg
+	}
+	seg := df.seg
+	df.mu.Unlock()
+
+	if err := seg.Append(writer, timestep, payload); err != nil {
+		a.finish()
+		return err
+	}
+	df.mu.Lock()
+	df.spilled += int64(len(payload))
+	df.stats.SpilledChunks++
+	df.stats.SpilledBytes += int64(len(payload))
+	if df.spilled > df.c.pol.PassLimitBytes {
+		df.escalateLocked(LevelPass)
+	} else if df.spilled > df.c.pol.SpillLimitBytes {
+		df.escalateLocked(LevelShed)
+	}
+	df.mu.Unlock()
+	a.finish()
+	return nil
+}
+
+// Pass finalizes a DecidePass admission: hand the raw payload to the PFS
+// sink (or the retained pass segment) and release the overdraft.
+func (a *Admission) Pass(writer int, timestep int64, payload []byte) error {
+	if a.decision != DecidePass || a.done {
+		return errors.New("flowctl: Pass on a non-pass or finished admission")
+	}
+	df := a.df
+	err := df.sinkPass(writer, timestep, payload)
+	if err == nil {
+		df.mu.Lock()
+		df.stats.PassedChunks++
+		df.stats.PassedBytes += int64(len(payload))
+		df.mu.Unlock()
+	}
+	a.finish()
+	return err
+}
+
+func (df *DumpFlow) sinkPass(writer int, timestep int64, payload []byte) error {
+	if sink := df.c.pol.PassSink; sink != nil {
+		return sink(writer, timestep, payload)
+	}
+	df.mu.Lock()
+	if df.passSeg == nil {
+		seg, err := CreateSegment(df.c.pol.SpillDir, "predata-pass-*.seg")
+		if err != nil {
+			df.mu.Unlock()
+			return err
+		}
+		df.passSeg = seg
+		df.passPath = seg.Path()
+	}
+	seg := df.passSeg
+	df.mu.Unlock()
+	return seg.Append(writer, timestep, payload)
+}
+
+// ShedClass reports how the next chunk entering the engine should be
+// classed: (false, false) outside shed mode — optional operators see it
+// normally; (true, sampled) in shed mode — optional operators see it only
+// when sampled is true (one in ShedSample chunks).
+func (df *DumpFlow) ShedClass() (shedding, sampled bool) {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	if df.level < LevelShed {
+		return false, false
+	}
+	df.shedTick++
+	sampled = df.shedTick%int64(df.c.pol.ShedSample) == 1 || df.c.pol.ShedSample == 1
+	if sampled {
+		df.stats.SampledChunks++
+	} else {
+		df.stats.ShedChunks++
+	}
+	return true, sampled
+}
+
+// Replay drains the dump's spill segment back through deliver, in spill
+// order, acquiring real budget credits per chunk — the backpressure that
+// makes replay wait for the engine to drain. deliver receives the release
+// hook to attach to the decoded chunk. The segment is removed afterwards.
+func (df *DumpFlow) Replay(ctx context.Context, deliver func(writer int, timestep int64, payload []byte, release func()) error) error {
+	df.mu.Lock()
+	seg := df.seg
+	df.seg = nil
+	df.mu.Unlock()
+	if seg == nil {
+		return nil
+	}
+	if err := seg.Close(); err != nil {
+		return err
+	}
+	defer os.Remove(seg.Path())
+	return ReplaySegment(seg.Path(), func(writer int, timestep int64, payload []byte) error {
+		lease, err := df.c.budget.Acquire(ctx, int64(len(payload)))
+		if err != nil {
+			return err
+		}
+		if err := deliver(writer, timestep, payload, lease.Release); err != nil {
+			lease.Release()
+			return err
+		}
+		df.mu.Lock()
+		df.stats.ReplayedChunks++
+		df.mu.Unlock()
+		return nil
+	})
+}
+
+// PassSegmentPath returns the retained pass-through segment's path, if
+// the default file sink was used ("" otherwise).
+func (df *DumpFlow) PassSegmentPath() string {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	return df.passPath
+}
+
+// Finish closes the dump's flow state and returns its OverloadStats.
+// Idempotent: later calls return the same snapshot. An unreplayed spill
+// segment (abort path) is removed.
+func (df *DumpFlow) Finish() OverloadStats {
+	df.mu.Lock()
+	defer df.mu.Unlock()
+	if df.finished {
+		return df.finalStat
+	}
+	df.finished = true
+	if df.seg != nil {
+		df.seg.Remove()
+		df.seg = nil
+	}
+	if df.passSeg != nil {
+		df.passSeg.Close()
+		df.passSeg = nil
+	}
+	now := df.c.budget.Stats()
+	df.stats.Throttles = now.Throttles - df.base.Throttles
+	df.stats.ThrottleWait = now.ThrottleWait - df.base.ThrottleWait
+	df.stats.PeakBytes = now.Peak
+	df.stats.MaxLevel = df.maxLevel
+	df.finalStat = df.stats
+	return df.finalStat
+}

@@ -1,0 +1,154 @@
+package flowctl
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestSegmentRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	seg, err := CreateSegment(dir, "roundtrip-*.seg")
+	if err != nil {
+		t.Fatalf("CreateSegment: %v", err)
+	}
+	type rec struct {
+		writer   int
+		timestep int64
+		payload  []byte
+	}
+	var want []rec
+	for i := 0; i < 17; i++ {
+		r := rec{
+			writer:   i % 5,
+			timestep: int64(100 + i),
+			payload:  []byte(fmt.Sprintf("chunk-%02d-%s", i, string(make([]byte, i*7)))),
+		}
+		want = append(want, r)
+		if err := seg.Append(r.writer, r.timestep, r.payload); err != nil {
+			t.Fatalf("Append(%d): %v", i, err)
+		}
+	}
+	if seg.Chunks() != 17 {
+		t.Fatalf("Chunks = %d, want 17", seg.Chunks())
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+
+	var got []rec
+	err = ReplaySegment(seg.Path(), func(writer int, timestep int64, payload []byte) error {
+		got = append(got, rec{writer, timestep, append([]byte(nil), payload...)})
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ReplaySegment: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].writer != want[i].writer || got[i].timestep != want[i].timestep ||
+			string(got[i].payload) != string(want[i].payload) {
+			t.Fatalf("record %d mismatch: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+	if err := os.Remove(seg.Path()); err != nil {
+		t.Fatalf("remove segment: %v", err)
+	}
+}
+
+func TestSegmentEmptyReplay(t *testing.T) {
+	seg, err := CreateSegment(t.TempDir(), "empty-*.seg")
+	if err != nil {
+		t.Fatalf("CreateSegment: %v", err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	n := 0
+	if err := ReplaySegment(seg.Path(), func(int, int64, []byte) error { n++; return nil }); err != nil {
+		t.Fatalf("ReplaySegment of empty segment: %v", err)
+	}
+	if n != 0 {
+		t.Fatalf("replayed %d records from empty segment", n)
+	}
+}
+
+func TestSegmentAppendAfterClose(t *testing.T) {
+	seg, err := CreateSegment(t.TempDir(), "closed-*.seg")
+	if err != nil {
+		t.Fatalf("CreateSegment: %v", err)
+	}
+	seg.Close()
+	if err := seg.Append(0, 1, []byte("x")); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestSegmentCorruption(t *testing.T) {
+	write := func(t *testing.T) string {
+		t.Helper()
+		seg, err := CreateSegment(t.TempDir(), "corrupt-*.seg")
+		if err != nil {
+			t.Fatalf("CreateSegment: %v", err)
+		}
+		if err := seg.Append(3, 42, []byte("payload-payload-payload")); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if err := seg.Close(); err != nil {
+			t.Fatalf("Close: %v", err)
+		}
+		return seg.Path()
+	}
+	replay := func(path string) error {
+		return ReplaySegment(path, func(int, int64, []byte) error { return nil })
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		path := write(t)
+		data, _ := os.ReadFile(path)
+		data[0] ^= 0xff
+		os.WriteFile(path, data, 0o644)
+		if err := replay(path); !errors.Is(err, ErrSegmentCorrupt) {
+			t.Fatalf("err = %v, want ErrSegmentCorrupt", err)
+		}
+	})
+	t.Run("flipped payload byte", func(t *testing.T) {
+		path := write(t)
+		data, _ := os.ReadFile(path)
+		data[len(data)-1] ^= 0xff
+		os.WriteFile(path, data, 0o644)
+		if err := replay(path); !errors.Is(err, ErrSegmentCorrupt) {
+			t.Fatalf("err = %v, want ErrSegmentCorrupt", err)
+		}
+	})
+	t.Run("truncated payload", func(t *testing.T) {
+		path := write(t)
+		data, _ := os.ReadFile(path)
+		os.WriteFile(path, data[:len(data)-5], 0o644)
+		if err := replay(path); !errors.Is(err, ErrSegmentCorrupt) {
+			t.Fatalf("err = %v, want ErrSegmentCorrupt", err)
+		}
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		path := write(t)
+		data, _ := os.ReadFile(path)
+		os.WriteFile(path, data[:len(segmentMagic)+10], 0o644)
+		if err := replay(path); !errors.Is(err, ErrSegmentCorrupt) {
+			t.Fatalf("err = %v, want ErrSegmentCorrupt", err)
+		}
+	})
+	t.Run("fn error propagates", func(t *testing.T) {
+		path := write(t)
+		sentinel := errors.New("stop")
+		err := ReplaySegment(path, func(int, int64, []byte) error { return sentinel })
+		if !errors.Is(err, sentinel) {
+			t.Fatalf("err = %v, want sentinel", err)
+		}
+	})
+}

@@ -28,6 +28,42 @@ func (c *Counter) Add(delta int64) { c.n.Add(delta) }
 // Value returns the current count.
 func (c *Counter) Value() int64 { return c.n.Load() }
 
+// Gauge tracks a current level and its high-water mark — bytes admitted
+// under a memory budget, events queued on a stone, leases outstanding.
+// Safe for concurrent use. The zero value is ready; a Gauge must not be
+// copied after first use.
+type Gauge struct {
+	mu   sync.Mutex
+	v    int64
+	peak int64
+}
+
+// Add moves the level by delta (negative to release) and returns the new
+// level, updating the high-water mark.
+func (g *Gauge) Add(delta int64) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v += delta
+	if g.v > g.peak {
+		g.peak = g.v
+	}
+	return g.v
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// Peak returns the highest level ever observed.
+func (g *Gauge) Peak() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.peak
+}
+
 // Timer accumulates wall-clock time across repeated Start/Stop intervals.
 // The zero value is ready to use. Timer is not safe for concurrent use;
 // use one Timer per goroutine and merge with Add.

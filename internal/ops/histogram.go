@@ -65,6 +65,11 @@ func NewHistogramOperator(cfg HistogramConfig) (*HistogramOperator, error) {
 	return &HistogramOperator{cfg: cfg}, nil
 }
 
+// Optional implements staging.Optional: histograms are descriptive
+// analytics the overload ladder may degrade to sampled input, unlike
+// data-integrity operators (sorting, reorganization).
+func (h *HistogramOperator) Optional() bool { return true }
+
 // Name implements staging.Operator.
 func (h *HistogramOperator) Name() string { return "histogram" }
 

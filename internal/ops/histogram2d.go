@@ -58,6 +58,11 @@ func NewHistogram2DOperator(cfg Histogram2DConfig) (*Histogram2DOperator, error)
 	return &Histogram2DOperator{cfg: cfg}, nil
 }
 
+// Optional implements staging.Optional: histograms are descriptive
+// analytics the overload ladder may degrade to sampled input, unlike
+// data-integrity operators (sorting, reorganization).
+func (h *Histogram2DOperator) Optional() bool { return true }
+
 // Name implements staging.Operator.
 func (h *Histogram2DOperator) Name() string { return "histogram2d" }
 

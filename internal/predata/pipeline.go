@@ -11,6 +11,7 @@ import (
 
 	"predata/internal/fabric"
 	"predata/internal/faults"
+	"predata/internal/flowctl"
 	"predata/internal/mpi"
 	"predata/internal/staging"
 )
@@ -56,6 +57,14 @@ type PipelineConfig struct {
 	// Retry tunes transient-fault backoff and the per-dump staging
 	// deadline; zero fields take DefaultRetryPolicy values.
 	Retry RetryPolicy
+	// BufferMB, when positive, enables the flow controller on every
+	// staging rank with a budget of BufferMB megabytes — the ADIOS
+	// <buffer size-MB> hint made binding. Zero disables admission control.
+	BufferMB int
+	// Overload tunes the degradation ladder (watermarks, patience, spill
+	// directory and escalation limits). Its BudgetBytes field is ignored —
+	// the budget always derives from BufferMB.
+	Overload flowctl.Policy
 }
 
 // FaultReport aggregates fault-injection and recovery activity across
@@ -83,6 +92,54 @@ type FaultReport struct {
 	RecoveryWall time.Duration
 }
 
+// OverloadReport aggregates the flow controllers' throttle/spill/shed
+// decisions across one pipeline run — the overload analogue of
+// FaultReport. Counters are totals over all staging ranks and dumps;
+// PeakBytes and MaxLevel are maxima.
+type OverloadReport struct {
+	// BudgetBytes is each staging rank's accountant capacity.
+	BudgetBytes int64
+	// Throttles and ThrottleWait count admissions that waited for budget
+	// credits and the wall time spent waiting.
+	Throttles    int64
+	ThrottleWait time.Duration
+	// Spill trajectory: chunks/bytes through the disk overflow queue and
+	// chunks replayed back before Reduce.
+	SpilledChunks  int64
+	SpilledBytes   int64
+	ReplayedChunks int64
+	// Shed trajectory: chunks sampled for vs. withheld from optional
+	// operators.
+	SampledChunks int64
+	ShedChunks    int64
+	// Pass trajectory: chunks/bytes that bypassed the operators raw.
+	PassedChunks int64
+	PassedBytes  int64
+	// PeakBytes is the highest accounted memory on any staging rank.
+	PeakBytes int64
+	// MaxLevel is the highest ladder level any dump reached.
+	MaxLevel int
+}
+
+// merge folds one dump's stats into the run totals.
+func (r *OverloadReport) merge(o *flowctl.OverloadStats) {
+	r.Throttles += o.Throttles
+	r.ThrottleWait += o.ThrottleWait
+	r.SpilledChunks += o.SpilledChunks
+	r.SpilledBytes += o.SpilledBytes
+	r.ReplayedChunks += o.ReplayedChunks
+	r.SampledChunks += o.SampledChunks
+	r.ShedChunks += o.ShedChunks
+	r.PassedChunks += o.PassedChunks
+	r.PassedBytes += o.PassedBytes
+	if o.PeakBytes > r.PeakBytes {
+		r.PeakBytes = o.PeakBytes
+	}
+	if o.MaxLevel > r.MaxLevel {
+		r.MaxLevel = o.MaxLevel
+	}
+}
+
 // ComputeFunc runs the application on one compute rank. comm spans only
 // the compute ranks; client performs PreDatA writes.
 type ComputeFunc func(comm *mpi.Comm, client *Client) error
@@ -102,6 +159,9 @@ type PipelineResult struct {
 	ClientVisible []float64
 	// Fault reports injection and recovery activity; nil without a plan.
 	Fault *FaultReport
+	// Overload reports flow-control activity; nil without a BufferMB
+	// budget.
+	Overload *OverloadReport
 }
 
 // RunPipeline executes computeFn on NumCompute ranks and the staging
@@ -216,6 +276,15 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 			return nil
 		}
 		myIdx := comm.Rank() // staging identity; stable across comm shrinks
+		var flow *flowctl.Controller
+		if cfg.BufferMB > 0 {
+			pol := cfg.Overload
+			pol.BudgetBytes = int64(cfg.BufferMB) << 20
+			flow, err = flowctl.NewController(pol)
+			if err != nil {
+				return err
+			}
+		}
 		server, err := NewServer(ServerConfig{
 			StagingIndex:    myIdx,
 			Comm:            comm,
@@ -231,6 +300,7 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 			ChunkFilter:     cfg.ChunkFilter,
 			Faults:          inj,
 			Retry:           cfg.Retry,
+			Flow:            flow,
 		})
 		if err != nil {
 			return err
@@ -309,6 +379,17 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 			}
 		}
 		res.Fault = &report
+	}
+	if cfg.BufferMB > 0 {
+		ov := &OverloadReport{BudgetBytes: int64(cfg.BufferMB) << 20}
+		for _, rankStats := range res.StagingStats {
+			for _, st := range rankStats {
+				if st.Overload != nil {
+					ov.merge(st.Overload)
+				}
+			}
+		}
+		res.Overload = ov
 	}
 	return res, nil
 }

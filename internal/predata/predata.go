@@ -18,6 +18,7 @@
 package predata
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -28,6 +29,7 @@ import (
 	"predata/internal/fabric"
 	"predata/internal/faults"
 	"predata/internal/ffs"
+	"predata/internal/flowctl"
 	"predata/internal/mpi"
 	"predata/internal/staging"
 )
@@ -289,6 +291,14 @@ type ServerConfig struct {
 	// is enforced only when Faults is non-nil, preserving the fault-free
 	// contract that gathers block until the watchdog intervenes.
 	Retry RetryPolicy
+	// Flow, when non-nil, is this rank's memory-budget controller: every
+	// pull is admitted against its byte budget, overflow spills to disk
+	// and is replayed before Reduce, and persistent overload climbs the
+	// degradation ladder (spill → shed optional operators → raw
+	// pass-through). Nil disables admission control (the pre-budget
+	// behavior). With Flow set, the dump is also bounded by the retry
+	// policy's DumpDeadline, since admission waits must have a horizon.
+	Flow *flowctl.Controller
 }
 
 // DumpStats reports the staging-side cost of one dump on one rank.
@@ -315,6 +325,9 @@ type DumpStats struct {
 	// RecoveryWall is the time this rank spent reconfiguring membership
 	// (communicator shrink) ahead of this dump.
 	RecoveryWall time.Duration
+	// Overload reports the flow controller's throttle/spill/shed/pass
+	// decisions for this dump; nil when no controller is configured.
+	Overload *flowctl.OverloadStats
 	// Wall phases.
 	GatherWall    time.Duration
 	AggregateWall time.Duration
@@ -489,6 +502,19 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	sort.Slice(reqs, func(i, j int) bool { return order(reqs[i], reqs[j]) })
 	chunks := make(chan *staging.Chunk, s.cfg.PullConcurrency)
 
+	// With a flow controller the dump runs under a deadline: admission
+	// and submission waits must have a horizon, or a mis-sized budget
+	// could wedge the collective staging area.
+	ctx := context.Background()
+	var flow *flowctl.DumpFlow
+	if s.cfg.Flow != nil {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.retry.DumpDeadline)
+		defer cancel()
+		flow = s.cfg.Flow.StartDump(timestep)
+		defer flow.Finish()
+	}
+
 	// Pulled buffers flow through an event-stream graph before reaching
 	// the engine: decode stone -> optional filter stone -> terminal stone
 	// feeding the engine's channel. The stones' bounded queues propagate
@@ -505,7 +531,14 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	var filterStone *evpath.Stone
 	if s.cfg.ChunkFilter != nil {
 		filterStone, err = mgr.NewFilterStone(func(e *evpath.Event) bool {
-			return s.cfg.ChunkFilter(e.Data.(*staging.Chunk))
+			chunk := e.Data.(*staging.Chunk)
+			keep := s.cfg.ChunkFilter(chunk)
+			if !keep && chunk.Release != nil {
+				// A dropped chunk never reaches the engine, so its budget
+				// credits come back here.
+				chunk.Release()
+			}
+			return keep
 		})
 		if err != nil {
 			return nil, nil, err
@@ -516,10 +549,24 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 		head = filterStone
 	}
 	decode, err := mgr.NewTransformStone(func(e *evpath.Event) (*evpath.Event, error) {
-		chunk, err := staging.DecodeChunk(e.Data.([]byte))
+		buf, release := eventPayload(e)
+		chunk, err := staging.DecodeChunk(buf)
 		if err != nil {
+			if release != nil {
+				release()
+			}
 			return nil, fmt.Errorf("predata: decode chunk from rank %d: %w",
 				int(e.Attrs["writer"]), err)
+		}
+		chunk.Release = release
+		if flow != nil {
+			if shedding, sampled := flow.ShedClass(); shedding {
+				if sampled {
+					chunk.Shed = staging.ShedSampled
+				} else {
+					chunk.Shed = staging.ShedSkipped
+				}
+			}
 		}
 		return &evpath.Event{Attrs: e.Attrs, Data: chunk}, nil
 	})
@@ -528,6 +575,18 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	}
 	if err := decode.LinkTo(head); err != nil {
 		return nil, nil, err
+	}
+	if s.cfg.Flow != nil {
+		// Byte-weighted stone queue: the decode stone's backlog is bounded
+		// by the same budget the accountant enforces, so the stone graph
+		// cannot buffer more than one budget's worth of packed bytes.
+		weigh := func(e *evpath.Event) int64 {
+			buf, _ := eventPayload(e)
+			return int64(len(buf))
+		}
+		if err := decode.SetByteLimit(s.cfg.Flow.Budget().Capacity(), weigh); err != nil {
+			return nil, nil, err
+		}
 	}
 
 	var (
@@ -547,8 +606,26 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 				if failed {
 					continue // drain remaining requests without pulling
 				}
-				buf, d, err := s.pullWithRetry(req, stats, &pullMu)
+				// Credit-based admission: the pull is only issued once the
+				// budget (or the spill path's serialized overdraft) covers
+				// the chunk, so the compute rank's exposed buffer — not
+				// staging memory — absorbs the wait, and the compute side
+				// stays asynchronous.
+				var adm *flowctl.Admission
+				if flow != nil {
+					a, err := flow.Admit(ctx, int64(req.Bytes))
+					if err != nil {
+						s.recordPullErr(&pullMu, &pullErr,
+							fmt.Errorf("predata: admitting chunk from rank %d: %w", req.WriterRank, err))
+						continue
+					}
+					adm = a
+				}
+				buf, d, err := s.pullWithRetry(ctx, req, stats, &pullMu)
 				if err != nil {
+					if adm != nil {
+						adm.Abort()
+					}
 					// A crashed source endpoint loses only its own chunk:
 					// record the drop and let the dump complete Degraded.
 					// Anything else (shutdown, decode) aborts the dump.
@@ -566,11 +643,7 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 				stats.BytesPulled += int64(len(buf))
 				stats.PullModeled += d
 				pullMu.Unlock()
-				err = decode.Submit(&evpath.Event{
-					Attrs: map[string]int64{"writer": int64(req.WriterRank), "timestep": req.Timestep},
-					Data:  buf,
-				})
-				if err != nil {
+				if err := s.routePulled(ctx, decode, adm, req, buf); err != nil {
 					s.recordPullErr(&pullMu, &pullErr, err)
 				}
 			}
@@ -584,6 +657,21 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	}()
 	go func() {
 		prodWG.Wait()
+		if flow != nil {
+			// Lossless completion: replay the spill segment through the
+			// same stone graph before the engine's stream ends, acquiring
+			// real budget credits per chunk so replay drains no faster
+			// than the engine.
+			err := flow.Replay(ctx, func(writer int, ts int64, payload []byte, release func()) error {
+				return decode.SubmitContext(ctx, &evpath.Event{
+					Attrs: map[string]int64{"writer": int64(writer), "timestep": ts},
+					Data:  &pulledChunk{buf: payload, release: release},
+				})
+			})
+			if err != nil {
+				s.recordPullErr(&pullMu, &pullErr, fmt.Errorf("predata: spill replay: %w", err))
+			}
+		}
 		// Drain the stone graph, then release the engine.
 		if err := mgr.Close(); err != nil {
 			s.recordPullErr(&pullMu, &pullErr, err)
@@ -600,17 +688,74 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	// producer pool and the stone graph are done and stats/pullErr are
 	// stable.
 	stats.ProcessWall = time.Since(start)
+	if flow != nil {
+		ov := flow.Finish()
+		stats.Overload = &ov
+	}
 	if pullErr != nil {
 		return nil, stats, pullErr
 	}
 	if err != nil {
 		return nil, stats, err
 	}
-	res.Degraded = stats.Drops > 0 ||
+	res.Degraded = res.Degraded || stats.Drops > 0 ||
+		(stats.Overload != nil && stats.Overload.PassedChunks > 0) ||
 		(s.cfg.Faults != nil &&
 			len(liveStagingAt(s.cfg.Faults, s.cfg.StagingBase, s.cfg.NumStaging, timestep)) < s.cfg.NumStaging)
 	stats.Degraded = res.Degraded
 	return res, stats, nil
+}
+
+// pulledChunk is the event payload for an admitted chunk: the packed
+// bytes plus the budget-lease release hook the decode stone attaches to
+// the decoded Chunk.
+type pulledChunk struct {
+	buf     []byte
+	release func()
+}
+
+// eventPayload unwraps a decode-stone event: plain []byte (no admission
+// control) or *pulledChunk (admitted against the budget).
+func eventPayload(e *evpath.Event) (buf []byte, release func()) {
+	switch d := e.Data.(type) {
+	case []byte:
+		return d, nil
+	case *pulledChunk:
+		return d.buf, d.release
+	}
+	return nil, nil
+}
+
+// routePulled hands a pulled chunk to its admitted fate: stream into the
+// stone graph (process), append to the overflow segment (spill), or write
+// raw to the PFS sink (pass). With no admission (adm == nil) it streams
+// unconditionally, the pre-budget behavior.
+func (s *Server) routePulled(ctx context.Context, decode *evpath.Stone, adm *flowctl.Admission, req FetchRequest, buf []byte) error {
+	attrs := map[string]int64{"writer": int64(req.WriterRank), "timestep": req.Timestep}
+	if adm == nil {
+		return decode.SubmitContext(ctx, &evpath.Event{Attrs: attrs, Data: buf})
+	}
+	switch adm.Decision() {
+	case flowctl.DecideProcess:
+		release, err := adm.Keep()
+		if err != nil {
+			return err
+		}
+		err = decode.SubmitContext(ctx, &evpath.Event{
+			Attrs: attrs,
+			Data:  &pulledChunk{buf: buf, release: release},
+		})
+		if err != nil {
+			release()
+			return err
+		}
+		return nil
+	case flowctl.DecideSpill:
+		return adm.Spill(req.WriterRank, req.Timestep, buf)
+	case flowctl.DecidePass:
+		return adm.Pass(req.WriterRank, req.Timestep, buf)
+	}
+	return fmt.Errorf("predata: unknown admission decision %d", adm.Decision())
 }
 
 // recvRequest receives one fetch request, retrying injected transient
@@ -650,10 +795,12 @@ func (s *Server) recvRequest(deadline time.Time, stats *DumpStats) (FetchRequest
 }
 
 // pullWithRetry pulls one chunk, retrying injected transient faults with
-// capped exponential backoff within the attempt budget.
-func (s *Server) pullWithRetry(req FetchRequest, stats *DumpStats, mu *sync.Mutex) ([]byte, time.Duration, error) {
+// capped exponential backoff within the attempt budget. ctx bounds each
+// pull's deferred-phase wait (background ctx preserves the fault-free
+// contract of blocking until the watchdog intervenes).
+func (s *Server) pullWithRetry(ctx context.Context, req FetchRequest, stats *DumpStats, mu *sync.Mutex) ([]byte, time.Duration, error) {
 	for attempt := 0; ; attempt++ {
-		buf, d, err := s.cfg.Endpoint.Pull(req.Handle)
+		buf, d, err := s.cfg.Endpoint.PullContext(ctx, req.Handle)
 		if err == nil || !errors.Is(err, faults.ErrTransient) || attempt+1 >= s.retry.MaxAttempts {
 			return buf, d, err
 		}

@@ -57,6 +57,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 // deliberately uses the global generator — it has no effect on *which*
 // faults fire, so reproducibility does not depend on it.
 func (p RetryPolicy) backoff(retry int) time.Duration {
+	return p.backoffAt(retry, rand.Float64())
+}
+
+// backoffAt is backoff with the jitter sample u (in [0,1)) made explicit,
+// so tests can drive the schedule from a seeded source.
+func (p RetryPolicy) backoffAt(retry int, u float64) time.Duration {
 	d := p.BaseDelay
 	for i := 0; i < retry && d < p.MaxDelay; i++ {
 		d *= 2
@@ -64,7 +70,7 @@ func (p RetryPolicy) backoff(retry int) time.Duration {
 	if d > p.MaxDelay {
 		d = p.MaxDelay
 	}
-	return time.Duration(float64(d) * (0.5 + rand.Float64()))
+	return time.Duration(float64(d) * (0.5 + u))
 }
 
 // liveStagingAt returns the staging indices whose endpoints the plan has

@@ -1,0 +1,161 @@
+package staging
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"predata/internal/mpi"
+)
+
+// optOp wraps histOp as an optional (sheddable) operator and counts its
+// Map calls.
+type optOp struct {
+	histOp
+	maps atomic.Int64
+}
+
+func (o *optOp) Name() string   { return "opt-hist" }
+func (o *optOp) Optional() bool { return true }
+func (o *optOp) Map(ctx *Context, chunk *Chunk) error {
+	o.maps.Add(1)
+	return o.histOp.Map(ctx, chunk)
+}
+
+// mandOp is a mandatory counterpart counting its Map calls.
+type mandOp struct {
+	histOp
+	maps atomic.Int64
+}
+
+func (m *mandOp) Name() string { return "mand-hist" }
+func (m *mandOp) Map(ctx *Context, chunk *Chunk) error {
+	m.maps.Add(1)
+	return m.histOp.Map(ctx, chunk)
+}
+
+func TestShedSkippedStarvesOptionalOperators(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		opt := &optOp{histOp: histOp{bins: 4, min: 0, max: 4}}
+		mand := &mandOp{histOp: histOp{bins: 4, min: 0, max: 4}}
+		eng := NewEngine(Config{Workers: 2})
+
+		var chunks []*Chunk
+		for i := 0; i < 8; i++ {
+			ch := makeChunk(i, []float64{0.5})
+			switch {
+			case i%4 == 0:
+				ch.Shed = ShedSampled
+			default:
+				ch.Shed = ShedSkipped
+			}
+			chunks = append(chunks, ch)
+		}
+		res, err := eng.ProcessDump(c, feed(chunks), []Operator{opt, mand}, nil)
+		if err != nil {
+			return err
+		}
+		if res.Chunks != 8 {
+			return fmt.Errorf("chunks = %d, want 8", res.Chunks)
+		}
+		// Mandatory operator saw everything; optional only the samples.
+		if got := mand.maps.Load(); got != 8 {
+			return fmt.Errorf("mandatory Map calls = %d, want 8", got)
+		}
+		if got := opt.maps.Load(); got != 2 {
+			return fmt.Errorf("optional Map calls = %d, want 2 (sampled only)", got)
+		}
+		if !res.Degraded {
+			return errors.New("shed dump not marked Degraded")
+		}
+		if res.ShedSkips != 6 {
+			return fmt.Errorf("ShedSkips = %d, want 6", res.ShedSkips)
+		}
+		if len(res.ShedOperators) != 1 || res.ShedOperators[0] != "opt-hist" {
+			return fmt.Errorf("ShedOperators = %v, want [opt-hist]", res.ShedOperators)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShedWithoutOptionalOperatorsNotDegraded(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		mand := &mandOp{histOp: histOp{bins: 4, min: 0, max: 4}}
+		eng := NewEngine(Config{Workers: 1})
+		ch := makeChunk(0, []float64{0.5})
+		ch.Shed = ShedSkipped
+		res, err := eng.ProcessDump(c, feed([]*Chunk{ch}), []Operator{mand}, nil)
+		if err != nil {
+			return err
+		}
+		// No optional operator: shedding has no one to starve.
+		if mand.maps.Load() != 1 {
+			return fmt.Errorf("mandatory Map calls = %d, want 1", mand.maps.Load())
+		}
+		if res.Degraded || len(res.ShedOperators) != 0 {
+			return fmt.Errorf("degraded=%v shedOps=%v without optional operators",
+				res.Degraded, res.ShedOperators)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkReleaseCalledOncePerChunk(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		op := &histOp{bins: 4, min: 0, max: 4}
+		eng := NewEngine(Config{Workers: 3})
+		var released atomic.Int64
+		var chunks []*Chunk
+		for i := 0; i < 12; i++ {
+			ch := makeChunk(i, []float64{1.5})
+			ch.Release = func() { released.Add(1) }
+			if i%3 == 0 {
+				ch.Shed = ShedSkipped
+			}
+			chunks = append(chunks, ch)
+		}
+		if _, err := eng.ProcessDump(c, feed(chunks), []Operator{op}, nil); err != nil {
+			return err
+		}
+		if got := released.Load(); got != 12 {
+			return fmt.Errorf("released %d chunks, want 12", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChunkReleaseCalledOnMapError(t *testing.T) {
+	err := mpi.Run(1, func(c *mpi.Comm) error {
+		eng := NewEngine(Config{Workers: 2})
+		var released atomic.Int64
+		var chunks []*Chunk
+		for i := 0; i < 6; i++ {
+			ch := makeChunk(i, []float64{1.5})
+			ch.Release = func() { released.Add(1) }
+			chunks = append(chunks, ch)
+		}
+		_, err := eng.ProcessDump(c, feed(chunks), []Operator{&failOp{phase: "map"}}, nil)
+		if err == nil {
+			return errors.New("map failure not surfaced")
+		}
+		// Leases must not leak on the error path: the engine drains the
+		// stream and releases every chunk even after the first Map error.
+		if got := released.Load(); got != 6 {
+			return fmt.Errorf("released %d chunks on error path, want 6", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -22,6 +22,23 @@ import (
 	"predata/internal/mpi"
 )
 
+// ShedClass records how the overload ladder classed a chunk on its way
+// into the engine.
+type ShedClass int
+
+// Shed classes.
+const (
+	// ShedNone: every operator sees the chunk (the normal case).
+	ShedNone ShedClass = iota
+	// ShedSampled: shed mode is active and this chunk is one of the
+	// sampled survivors — optional operators see it, but their results
+	// now describe a sample and are flagged Degraded.
+	ShedSampled
+	// ShedSkipped: shed mode is active and optional operators are
+	// starved of this chunk; mandatory operators still see it.
+	ShedSkipped
+)
+
 // Chunk is one decoded packed partial data chunk: the output of one
 // compute process at one timestep.
 type Chunk struct {
@@ -29,6 +46,21 @@ type Chunk struct {
 	Timestep   int64
 	Schema     *ffs.Schema
 	Record     ffs.Record
+	// Shed is the overload ladder's class for this chunk (zero value:
+	// all operators see it).
+	Shed ShedClass
+	// Release, when non-nil, returns the chunk's memory-budget credits.
+	// The engine calls it exactly once, after the last operator's Map has
+	// seen the chunk (including error and shed paths).
+	Release func()
+}
+
+// Optional marks an operator the overload ladder may degrade to sampled
+// input when shedding: nice-to-have analytics (histograms) rather than
+// data-integrity work (sorting, reorganization for the PFS write).
+type Optional interface {
+	// Optional reports whether the operator may be shed under overload.
+	Optional() bool
 }
 
 // Operator is the pluggable PreDatA operation interface. Map may be called
@@ -145,11 +177,17 @@ type Result struct {
 	// OperatorEmitted counts the intermediate values each operator
 	// emitted locally (after Combine) — the per-operator shuffle volume.
 	OperatorEmitted map[string]int
-	// Degraded marks a dump completed under failure recovery: chunks were
-	// dropped because their endpoint crashed, or the staging area was
-	// operating with fewer ranks than it started with. The results are
+	// Degraded marks a dump completed under failure recovery or overload
+	// shedding: chunks were dropped because their endpoint crashed, the
+	// staging area was operating with fewer ranks than it started with,
+	// or optional operators fell back to sampled input. The results are
 	// valid over the data that survived.
 	Degraded bool
+	// ShedOperators lists the optional operators that ran on sampled
+	// input because the overload ladder reached shed level.
+	ShedOperators []string
+	// ShedSkips counts chunks withheld from optional operators.
+	ShedSkips int
 }
 
 // taggedValue is the shuffle wire format.
@@ -193,14 +231,27 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 	res.Breakdown.Add("initialize", time.Since(start))
 
 	// Map: stream chunks through a worker pool. Each chunk visits every
-	// operator, preserving the paper's read-once constraint.
+	// operator, preserving the paper's read-once constraint. Shedding
+	// only skips Map calls of optional operators — every rank still
+	// issues the identical collective sequence below, so a shed decision
+	// can never desynchronize the shuffle.
+	optional := make([]bool, len(ops))
+	anyOptional := false
+	for i, op := range ops {
+		if o, ok := op.(Optional); ok && o.Optional() {
+			optional[i] = true
+			anyOptional = true
+		}
+	}
 	start = time.Now()
 	var (
-		wg      sync.WaitGroup
-		errMu   sync.Mutex
-		mapErr  error
-		nChunks int64
-		countMu sync.Mutex
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		mapErr   error
+		nChunks  int64
+		nSkips   int64
+		shedSeen bool
+		countMu  sync.Mutex
 	)
 	for w := 0; w < e.cfg.Workers; w++ {
 		wg.Add(1)
@@ -208,6 +259,9 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 			defer wg.Done()
 			for chunk := range chunks {
 				for i, op := range ops {
+					if optional[i] && chunk.Shed == ShedSkipped {
+						continue
+					}
 					opStart := time.Now()
 					if err := op.Map(ctxs[i], chunk); err != nil {
 						errMu.Lock()
@@ -218,14 +272,32 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 					}
 					res.OperatorBreakdown[op.Name()].Add("map", time.Since(opStart))
 				}
+				if chunk.Release != nil {
+					chunk.Release()
+				}
 				countMu.Lock()
 				nChunks++
+				if chunk.Shed != ShedNone {
+					shedSeen = true
+					if chunk.Shed == ShedSkipped {
+						nSkips++
+					}
+				}
 				countMu.Unlock()
 			}
 		}()
 	}
 	wg.Wait()
 	res.Chunks = int(nChunks)
+	res.ShedSkips = int(nSkips)
+	if shedSeen && anyOptional {
+		res.Degraded = true
+		for i, op := range ops {
+			if optional[i] {
+				res.ShedOperators = append(res.ShedOperators, op.Name())
+			}
+		}
+	}
 	res.Breakdown.Add("map", time.Since(start))
 	if mapErr != nil {
 		// All ranks must still participate in the shuffle collectives to
