@@ -1,7 +1,7 @@
 GO ?= go
 VET_BIN := bin/predata-vet
 
-.PHONY: all build test race fmt vet bench-smoke evaluation clean
+.PHONY: all build test race fmt vet bench-smoke trace-test evaluation clean
 
 all: build vet test
 
@@ -29,6 +29,14 @@ $(VET_BIN): $(shell find cmd/predata-vet internal/analysis -name '*.go' -not -pa
 
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
+
+# trace-test runs the flight-recorder suite: trace unit + fuzz-seed
+# tests, the 64:1 trace-driven conformance tests (raced, shuffled), and
+# the trace overhead experiment (DESIGN.md §9).
+trace-test:
+	$(GO) test -race -shuffle=on ./internal/trace/ -run . -count=1
+	$(GO) test -race -shuffle=on -run 'TraceConformance|Prop' ./internal/predata/ ./internal/ops/
+	$(GO) run ./cmd/predata-bench -experiment trace -json BENCH_trace.json
 
 evaluation:
 	$(GO) run ./cmd/predata-bench -experiment all

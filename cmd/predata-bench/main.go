@@ -7,6 +7,7 @@
 //	predata-bench -experiment fig8|fig9|fig10|fig11
 //	predata-bench -experiment chaos
 //	predata-bench -experiment overload [-json BENCH_overload.json]
+//	predata-bench -experiment trace [-json BENCH_trace.json]
 //	predata-bench -experiment ablations
 //	predata-bench -experiment all
 //
@@ -25,11 +26,23 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|chaos|overload|ablations|all")
+		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|chaos|overload|trace|ablations|all")
 	op := flag.String("op", "all", "fig7 operator: sort|hist|hist2d|all")
 	jsonPath := flag.String("json", "BENCH_overload.json",
-		"overload experiment: write the overload trajectory as JSON to this path (empty disables)")
+		"overload/trace experiments: write the summary as JSON to this path (empty disables; trace defaults to BENCH_trace.json)")
 	flag.Parse()
+
+	// The flag default carries the overload experiment's filename; the
+	// trace experiment gets its own unless -json was set explicitly.
+	jsonSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "json" {
+			jsonSet = true
+		}
+	})
+	if *experiment == "trace" && !jsonSet {
+		*jsonPath = "BENCH_trace.json"
+	}
 
 	if err := run(os.Stdout, *experiment, *op, *jsonPath); err != nil {
 		fmt.Fprintln(os.Stderr, "predata-bench:", err)
@@ -72,6 +85,8 @@ func run(w io.Writer, experiment, op, jsonPath string) error {
 		return bench.Chaos(w)
 	case "overload":
 		return bench.Overload(w, jsonPath)
+	case "trace":
+		return bench.Trace(w, jsonPath)
 	case "ablations":
 		return ablations()
 	case "all":
@@ -80,6 +95,9 @@ func run(w io.Writer, experiment, op, jsonPath string) error {
 			bench.Fig8, bench.Fig9, bench.Fig10, bench.Fig11, bench.Offline,
 			bench.DESCrossCheck, bench.Chaos,
 			func(w io.Writer) error { return bench.Overload(w, jsonPath) },
+			// trace writes no JSON under "all" so it cannot clobber the
+			// overload trajectory sharing the -json flag.
+			func(w io.Writer) error { return bench.Trace(w, "") },
 		} {
 			if err := f(w); err != nil {
 				return err

@@ -18,6 +18,7 @@ func TestRunEachExperiment(t *testing.T) {
 		{"fig11", "merged vs unmerged"},
 		{"offline", "in-transit"},
 		{"overload", "degradation ladder"},
+		{"trace", "trace overhead"},
 		{"ablations", "scheduled vs unscheduled"},
 	}
 	for _, c := range cases {

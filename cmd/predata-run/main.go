@@ -28,6 +28,7 @@ import (
 	"predata/internal/pfs"
 	"predata/internal/predata"
 	"predata/internal/staging"
+	"predata/internal/trace"
 )
 
 func main() {
@@ -46,7 +47,9 @@ func main() {
 		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan's probabilistic draws")
 		bufferMB  = flag.Int("buffer-mb", -1,
 			"staging memory budget in MB (0 disables; -1 takes the ADIOS <buffer size-MB> when -adios-config is given, else 0)")
-		spillDir = flag.String("spill-dir", "", "directory for overload spill segments (default: system temp)")
+		spillDir  = flag.String("spill-dir", "", "directory for overload spill segments (default: system temp)")
+		tracePath = flag.String("trace", "",
+			"flight-record the run and write the trace here (.json: Chrome trace_event; otherwise PDTRACE1 binary; staging mode only)")
 	)
 	flag.Parse()
 
@@ -70,6 +73,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "predata-run: -fault-plan requires -mode staging")
 			os.Exit(2)
 		}
+		if *tracePath != "" {
+			fmt.Fprintln(os.Stderr, "predata-run: -trace requires -mode staging")
+			os.Exit(2)
+		}
 		if err := runInCompute(*app, *compute, *particles, *local, *dumps); err != nil {
 			fmt.Fprintln(os.Stderr, "predata-run:", err)
 			os.Exit(1)
@@ -80,13 +87,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "predata-run: unknown -mode", *mode)
 		os.Exit(2)
 	}
-	if err := run(*app, *compute, *stagingN, *particles, *local, *dumps, *workers, *opsFlag, *faultPlan, *faultSeed, *bufferMB, *spillDir); err != nil {
+	if err := run(*app, *compute, *stagingN, *particles, *local, *dumps, *workers, *opsFlag, *faultPlan, *faultSeed, *bufferMB, *spillDir, *tracePath); err != nil {
 		fmt.Fprintln(os.Stderr, "predata-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, compute, stagingN, particles, local, dumps, workers int, opsFlag, faultPlan string, faultSeed int64, bufferMB int, spillDir string) error {
+func run(app string, compute, stagingN, particles, local, dumps, workers int, opsFlag, faultPlan string, faultSeed int64, bufferMB int, spillDir, tracePath string) error {
 	opNames := strings.Split(opsFlag, ",")
 	factory, err := operatorFactory(app, opNames)
 	if err != nil {
@@ -113,6 +120,15 @@ func run(app string, compute, stagingN, particles, local, dumps, workers int, op
 		}
 		cfg.FaultPlan = &plan
 	}
+	var recorder *trace.Recorder
+	if tracePath != "" {
+		recorder = trace.New(trace.Config{
+			NumCompute: compute,
+			NumStaging: stagingN,
+			Dumps:      dumps,
+		})
+		cfg.Tracer = recorder
+	}
 	// The min/max partial pass operates on 2D particle arrays; the
 	// Pixie3D workload ships 3D field chunks instead.
 	if cols := partialCols(app); cols != nil {
@@ -128,6 +144,11 @@ func run(app string, compute, stagingN, particles, local, dumps, workers int, op
 
 	fmt.Printf("pipeline: %d compute + %d staging ranks, %d dumps, wall %v\n",
 		compute, stagingN, dumps, wall.Round(time.Millisecond))
+	if recorder != nil {
+		if err := exportTrace(recorder, tracePath); err != nil {
+			return err
+		}
+	}
 	if rep := res.Fault; rep != nil {
 		fmt.Printf("faults: %d transients injected, %d retries, %d rerouted writes, %d redistributed requests, %d drops, %d degraded dumps",
 			rep.InjectedTransients, rep.Retries, rep.ReroutedDumps, rep.Redistributed, rep.Drops, rep.DegradedDumps)
@@ -168,6 +189,39 @@ func run(app string, compute, stagingN, particles, local, dumps, workers int, op
 			}
 		}
 	}
+	return nil
+}
+
+// exportTrace snapshots the flight recorder, checks the recording against
+// the runtime invariants, and writes it to path — Chrome trace_event JSON
+// for a .json suffix, PDTRACE1 binary otherwise.
+func exportTrace(recorder *trace.Recorder, path string) error {
+	rec := recorder.Snapshot()
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = trace.WriteChrome(f, rec)
+	} else {
+		err = trace.WriteBinary(f, rec)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("trace: writing %s: %w", path, err)
+	}
+	rep, verr := trace.Verify(rec)
+	if verr != nil {
+		fmt.Printf("trace: %d events -> %s; verify FAILED:\n", len(rec.Events), path)
+		for _, v := range rep.Violations {
+			fmt.Printf("trace:   %s\n", v)
+		}
+		return fmt.Errorf("trace: verification failed with %d violations", len(rep.Violations))
+	}
+	fmt.Printf("trace: %d events -> %s (dropped %d); verified %d collective groups, %d shuffle edges, %d replay checks\n",
+		len(rec.Events), path, rec.Dropped, rep.CollectiveGroups, rep.ShuffleEdges, rep.ReplayChecks)
 	return nil
 }
 

@@ -1,33 +1,35 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"predata/internal/adios"
+	"predata/internal/trace"
 )
 
 func TestRunGTCPipeline(t *testing.T) {
-	if err := run("gtc", 4, 2, 500, 8, 1, 2, "sort,hist,hist2d,index", "", 1, 0, ""); err != nil {
+	if err := run("gtc", 4, 2, 500, 8, 1, 2, "sort,hist,hist2d,index", "", 1, 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPixiePipeline(t *testing.T) {
-	if err := run("pixie3d", 4, 1, 0, 8, 1, 1, "reorg", "", 1, 0, ""); err != nil {
+	if err := run("pixie3d", 4, 1, 0, 8, 1, 1, "reorg", "", 1, 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownOperator(t *testing.T) {
-	if err := run("gtc", 2, 1, 10, 8, 1, 1, "sort,frobnicate", "", 1, 0, ""); err == nil {
+	if err := run("gtc", 2, 1, 10, 8, 1, 1, "sort,frobnicate", "", 1, 0, "", ""); err == nil {
 		t.Fatal("unknown operator accepted")
 	}
 }
 
 func TestRunMultipleDumps(t *testing.T) {
-	if err := run("gtc", 4, 2, 200, 8, 3, 2, "hist", "", 1, 0, ""); err != nil {
+	if err := run("gtc", 4, 2, 200, 8, 3, 2, "hist", "", 1, 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -35,7 +37,7 @@ func TestRunMultipleDumps(t *testing.T) {
 func TestRunWithMemoryBudget(t *testing.T) {
 	// A 1 MB budget with ~1.3 MB arriving per staging rank per dump: the
 	// full CLI path must complete under admission control and spill.
-	if err := run("gtc", 8, 2, 20000, 8, 2, 1, "hist", "", 1, 1, t.TempDir()); err != nil {
+	if err := run("gtc", 8, 2, 20000, 8, 2, 1, "hist", "", 1, 1, t.TempDir(), ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -43,16 +45,53 @@ func TestRunWithMemoryBudget(t *testing.T) {
 func TestRunFaultPlanChaos(t *testing.T) {
 	// Transients plus a staging crash at dump 1: the run must complete
 	// (degraded, not failed) under the full CLI path.
-	if err := run("gtc", 4, 2, 200, 8, 2, 2, "hist", "transient:*:0.05;crash:5@1", 42, 0, ""); err != nil {
+	if err := run("gtc", 4, 2, 200, 8, 2, 2, "hist", "transient:*:0.05;crash:5@1", 42, 0, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// A malformed plan fails before the pipeline launches.
-	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "explode:everything", 1, 0, ""); err == nil {
+	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "explode:everything", 1, 0, "", ""); err == nil {
 		t.Fatal("malformed fault plan accepted")
 	}
 	// A plan crashing a compute endpoint is rejected.
-	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "crash:0@0", 1, 0, ""); err == nil {
+	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "crash:0@0", 1, 0, "", ""); err == nil {
 		t.Fatal("compute-endpoint crash accepted")
+	}
+}
+
+func TestRunWithTrace(t *testing.T) {
+	dir := t.TempDir()
+	// Binary export: the file must round-trip through the PDTRACE1 reader.
+	bin := filepath.Join(dir, "run.trace")
+	if err := run("gtc", 4, 2, 300, 8, 2, 2, "sort,hist", "", 1, 0, "", bin); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := trace.ReadFile(bin)
+	if err != nil {
+		t.Fatalf("reading exported trace: %v", err)
+	}
+	if len(rec.Events) == 0 {
+		t.Fatal("exported trace is empty")
+	}
+	if _, err := trace.Verify(rec); err != nil {
+		t.Fatalf("re-verifying exported trace: %v", err)
+	}
+	// Chrome export: the .json suffix selects trace_event output.
+	cj := filepath.Join(dir, "run.json")
+	if err := run("gtc", 4, 1, 100, 8, 1, 1, "hist", "", 1, 0, "", cj); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(cj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
 	}
 }
 

@@ -1,0 +1,92 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"predata/internal/trace"
+)
+
+// record writes a small synthetic recording to dir/name and returns its
+// path. variant perturbs the structure so diff has something to find.
+func record(t *testing.T, dir, name string, variant bool) string {
+	t.Helper()
+	r := trace.New(trace.Config{NumCompute: 2, NumStaging: 1, Dumps: 1})
+	for rank := 0; rank < 3; rank++ {
+		r.Instant(trace.PhaseCollective, rank, int(trace.CollBarrier), 0, -1, 1)
+	}
+	sp := r.Begin(trace.PhaseShuffle, 2, -1, 0, 0)
+	sp.End(4)
+	sp = r.Begin(trace.PhaseReduce, 2, -1, 0, 0)
+	sp.End(2)
+	if variant {
+		r.Instant(trace.PhaseRetry, 1, 2, 0, 1, 0)
+	}
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(f, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestDumpAndValidate(t *testing.T) {
+	dir := t.TempDir()
+	path := record(t, dir, "a.trace", false)
+	if err := cmdDump([]string{path}); err != nil {
+		t.Fatalf("dump: %v", err)
+	}
+	if err := cmdValidate([]string{path}); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	out := filepath.Join(dir, "a.json")
+	if err := cmdDump([]string{"-chrome", out, path}); err != nil {
+		t.Fatalf("dump -chrome: %v", err)
+	}
+	if st, err := os.Stat(out); err != nil || st.Size() == 0 {
+		t.Fatalf("chrome output missing or empty: %v", err)
+	}
+}
+
+func TestValidateRejectsGarbage(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "junk.trace")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmdValidate([]string{path}); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDiff(t *testing.T) {
+	dir := t.TempDir()
+	a := record(t, dir, "a.trace", false)
+	b := record(t, dir, "b.trace", false)
+	c := record(t, dir, "c.trace", true)
+	if err := cmdDiff([]string{a, b}); err != nil {
+		t.Fatalf("identical recordings reported different: %v", err)
+	}
+	if err := cmdDiff([]string{a, c}); err == nil {
+		t.Fatal("structural difference not reported")
+	}
+}
+
+func TestCommandArgValidation(t *testing.T) {
+	if err := cmdDump(nil); err == nil {
+		t.Fatal("dump with no args accepted")
+	}
+	if err := cmdValidate(nil); err == nil {
+		t.Fatal("validate with no args accepted")
+	}
+	if err := cmdDiff([]string{"one"}); err == nil {
+		t.Fatal("diff with one arg accepted")
+	}
+}

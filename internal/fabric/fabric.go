@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"predata/internal/faults"
+	"predata/internal/trace"
 )
 
 // Typed fabric errors, matched with errors.Is. Crash-induced failures
@@ -70,6 +71,9 @@ type Config struct {
 	// degraded-bandwidth windows into every operation on this fabric.
 	// Endpoint crashes are driven separately through FailEndpoint.
 	Faults *faults.Injector
+	// Tracer, when non-nil, records pull spans, control-plane events,
+	// injected faults, and endpoint failures into the flight recorder.
+	Tracer *trace.Recorder
 }
 
 // DefaultConfig returns a network description loosely calibrated to a
@@ -198,6 +202,7 @@ func (f *Fabric) FailEndpoint(id int) error {
 	f.mu.Unlock()
 	f.cond.Broadcast()
 	st.mailCond.Broadcast()
+	f.cfg.Tracer.Instant(trace.PhaseEndpointDown, id, -1, -1, 0, 0)
 	return nil
 }
 
@@ -230,13 +235,16 @@ func (e *Endpoint) SendCtl(dst int, data any) error {
 	}
 	f := e.f
 	if err := f.cfg.Faults.OpFault(faults.OpSendCtl, dst); err != nil {
+		f.cfg.Tracer.Instant(trace.PhaseFault, e.id, dst, -1, 0, int64(faults.OpSendCtl))
 		return fmt.Errorf("fabric: SendCtl to endpoint %d: %w", dst, err)
 	}
 	f.mu.Lock()
 	target := f.eps[dst]
+	epoch := f.eps[e.id].epoch
 	if target.failed {
 		f.mu.Unlock()
 		f.cfg.Faults.NoteDownRefusal()
+		f.cfg.Tracer.Instant(trace.PhaseRefusal, e.id, dst, epoch, 0, int64(faults.OpSendCtl))
 		return fmt.Errorf("fabric: SendCtl to endpoint %d: %w", dst, faults.ErrEndpointDown)
 	}
 	if target.closed {
@@ -246,6 +254,7 @@ func (e *Endpoint) SendCtl(dst int, data any) error {
 	target.mailbox = append(target.mailbox, ctlMessage{src: e.id, data: data})
 	f.mu.Unlock()
 	target.mailCond.Broadcast()
+	f.cfg.Tracer.Instant(trace.PhaseSendCtl, e.id, dst, epoch, 0, 0)
 	return nil
 }
 
@@ -265,8 +274,10 @@ func (e *Endpoint) RecvCtlTimeout(timeout time.Duration) (src int, data any, err
 func (e *Endpoint) recvCtl(timeout time.Duration) (src int, data any, err error) {
 	f := e.f
 	if ferr := f.cfg.Faults.OpFault(faults.OpRecvCtl, e.id); ferr != nil {
+		f.cfg.Tracer.Instant(trace.PhaseFault, e.id, -1, -1, 0, int64(faults.OpRecvCtl))
 		return 0, nil, fmt.Errorf("fabric: RecvCtl on endpoint %d: %w", e.id, ferr)
 	}
+	sp := f.cfg.Tracer.Begin(trace.PhaseRecvCtl, e.id, -1, -1, -1)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := f.eps[e.id]
@@ -296,6 +307,7 @@ func (e *Endpoint) recvCtl(timeout time.Duration) (src int, data any, err error)
 	}
 	m := st.mailbox[0]
 	st.mailbox = st.mailbox[1:]
+	sp.WithEndpoint(m.src).WithDump(st.epoch).End(0)
 	return m.src, m.data, nil
 }
 
@@ -407,8 +419,10 @@ func (e *Endpoint) PullContext(ctx context.Context, h Handle) ([]byte, time.Dura
 	// Transients fire before the region is consumed, so a retry of the
 	// same handle can still succeed.
 	if err := f.cfg.Faults.OpFault(faults.OpPull, h.Endpoint); err != nil {
+		f.cfg.Tracer.Instant(trace.PhaseFault, e.id, h.Endpoint, -1, 0, int64(faults.OpPull))
 		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d: %w", h.Endpoint, err)
 	}
+	sp := f.cfg.Tracer.Begin(trace.PhasePull, e.id, h.Endpoint, -1, -1)
 	f.mu.Lock()
 	src := f.eps[h.Endpoint]
 	if f.cfg.Scheduled && src.busyDepth > 0 {
@@ -426,6 +440,7 @@ func (e *Endpoint) PullContext(ctx context.Context, h Handle) ([]byte, time.Dura
 	if src.failed {
 		f.mu.Unlock()
 		f.cfg.Faults.NoteDownRefusal()
+		f.cfg.Tracer.Instant(trace.PhaseRefusal, e.id, h.Endpoint, -1, 0, int64(faults.OpPull))
 		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d: %w", h.Endpoint, faults.ErrEndpointDown)
 	}
 	if src.closed {
@@ -475,6 +490,7 @@ func (e *Endpoint) PullContext(ctx context.Context, h Handle) ([]byte, time.Dura
 		src.interference += time.Duration(float64(d) * f.cfg.InterferencePenalty)
 	}
 	f.mu.Unlock()
+	sp.WithDump(reg.epoch).End(int64(len(out)))
 	return out, d, nil
 }
 

@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"predata/internal/metrics"
+	"predata/internal/trace"
 )
 
 // Budget is a byte-denominated memory accountant with watermark-based
@@ -49,6 +50,22 @@ type Budget struct {
 
 	throttles    metrics.Counter
 	throttleWait int64 // nanoseconds, guarded by mu
+
+	// Flight-recorder state, set once via SetTracer before the budget
+	// sees concurrent use.
+	tracer  *trace.Recorder
+	traceEP int
+}
+
+// SetTracer attaches a flight recorder: every budget movement records
+// a PhaseLease instant whose Seq field carries the used-bytes value
+// observed inside the accountant's critical section, so trace.Verify
+// can bound the peak without clock reasoning. endpoint is the world
+// rank stamped on the events. Call before concurrent use.
+func (b *Budget) SetTracer(tr *trace.Recorder, endpoint int) {
+	b.tracer = tr
+	b.traceEP = endpoint
+	tr.Instant(trace.PhaseBudgetCap, endpoint, -1, -1, 0, b.capacity)
 }
 
 type waiter struct {
@@ -99,7 +116,12 @@ func (b *Budget) fitsLocked(n int64) bool {
 
 // admitLocked accounts n admitted bytes and updates the overload latch.
 func (b *Budget) admitLocked(n int64) {
-	if b.used.Add(n) >= b.high {
+	v := b.used.Add(n)
+	b.tracer.Instant(trace.PhaseLease, b.traceEP, -1, -1, v, n)
+	if v >= b.high {
+		if !b.overHigh {
+			b.tracer.Instant(trace.PhaseOverload, b.traceEP, -1, -1, v, 1)
+		}
 		b.overHigh = true
 	}
 }
@@ -126,12 +148,15 @@ func (b *Budget) Acquire(ctx context.Context, n int64) (*Lease, error) {
 	start := time.Now()
 	b.mu.Unlock()
 
+	sp := b.tracer.Begin(trace.PhaseThrottle, b.traceEP, -1, -1, -1)
 	select {
 	case <-w.ready:
+		sp.End(n)
 		b.noteWait(start)
 		return &Lease{b: b, n: n}, nil
 	case <-ctx.Done():
 	}
+	sp.End(0)
 	// Cancelled — but a concurrent release may have granted us already;
 	// a grant observed here wins (the bytes are accounted to us).
 	b.mu.Lock()
@@ -191,7 +216,12 @@ func (b *Budget) Overdraft(n int64) *Lease {
 // release returns n bytes and hands credits to FIFO waiters in order.
 func (b *Budget) release(n int64) {
 	b.mu.Lock()
-	if b.used.Add(-n) <= b.low {
+	v := b.used.Add(-n)
+	b.tracer.Instant(trace.PhaseLease, b.traceEP, -1, -1, v, -n)
+	if v <= b.low {
+		if b.overHigh {
+			b.tracer.Instant(trace.PhaseOverload, b.traceEP, -1, -1, v, 0)
+		}
 		b.overHigh = false
 	}
 	var granted []*waiter

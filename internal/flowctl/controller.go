@@ -7,6 +7,8 @@ import (
 	"os"
 	"sync"
 	"time"
+
+	"predata/internal/trace"
 )
 
 // Ladder levels. Under persistent overload a dump escalates monotonically
@@ -148,6 +150,20 @@ type OverloadStats struct {
 type Controller struct {
 	pol    Policy
 	budget *Budget
+
+	// Flight-recorder state, set once via SetTracer before serving.
+	tracer  *trace.Recorder
+	traceEP int
+}
+
+// SetTracer attaches a flight recorder to the controller and its
+// budget: lease movements, throttle waits, overload latch transitions,
+// and spill/shed/pass/replay decisions all record events stamped with
+// the given world rank. Call before the rank starts serving.
+func (c *Controller) SetTracer(tr *trace.Recorder, endpoint int) {
+	c.tracer = tr
+	c.traceEP = endpoint
+	c.budget.SetTracer(tr, endpoint)
 }
 
 // NewController validates the policy and builds the rank's accountant.
@@ -350,6 +366,7 @@ func (a *Admission) Spill(writer int, timestep int64, payload []byte) error {
 		a.finish()
 		return err
 	}
+	df.c.tracer.Instant(trace.PhaseSpill, df.c.traceEP, writer, timestep, 0, int64(len(payload)))
 	df.mu.Lock()
 	df.spilled += int64(len(payload))
 	df.stats.SpilledChunks++
@@ -373,6 +390,7 @@ func (a *Admission) Pass(writer int, timestep int64, payload []byte) error {
 	df := a.df
 	err := df.sinkPass(writer, timestep, payload)
 	if err == nil {
+		df.c.tracer.Instant(trace.PhasePass, df.c.traceEP, writer, timestep, 0, int64(len(payload)))
 		df.mu.Lock()
 		df.stats.PassedChunks++
 		df.stats.PassedBytes += int64(len(payload))
@@ -413,11 +431,14 @@ func (df *DumpFlow) ShedClass() (shedding, sampled bool) {
 	}
 	df.shedTick++
 	sampled = df.shedTick%int64(df.c.pol.ShedSample) == 1 || df.c.pol.ShedSample == 1
+	arg := int64(0)
 	if sampled {
 		df.stats.SampledChunks++
+		arg = 1
 	} else {
 		df.stats.ShedChunks++
 	}
+	df.c.tracer.Instant(trace.PhaseShed, df.c.traceEP, -1, df.timestep, 0, arg)
 	return true, sampled
 }
 
@@ -446,6 +467,7 @@ func (df *DumpFlow) Replay(ctx context.Context, deliver func(writer int, timeste
 			lease.Release()
 			return err
 		}
+		df.c.tracer.Instant(trace.PhaseReplay, df.c.traceEP, writer, timestep, int64(writer), int64(len(payload)))
 		df.mu.Lock()
 		df.stats.ReplayedChunks++
 		df.mu.Unlock()

@@ -12,11 +12,21 @@ import (
 	"time"
 )
 
+// noCopy enforces the "must not be copied after first use" contract of
+// Counter and Gauge mechanically: embedding it gives the struct Lock
+// and Unlock methods, so `go vet`'s copylocks analyzer flags any copy.
+// It synchronizes nothing. See golang.org/issues/8005.
+type noCopy struct{}
+
+func (*noCopy) Lock()   {}
+func (*noCopy) Unlock() {}
+
 // Counter is a cumulative event counter (retries, drops, injected
 // faults, ...) safe for concurrent use. The zero value is ready; a
-// Counter must not be copied after first use.
+// Counter must not be copied after first use (enforced by `go vet`).
 type Counter struct {
-	n atomic.Int64
+	noCopy noCopy
+	n      atomic.Int64
 }
 
 // Inc adds one event.
@@ -31,11 +41,12 @@ func (c *Counter) Value() int64 { return c.n.Load() }
 // Gauge tracks a current level and its high-water mark — bytes admitted
 // under a memory budget, events queued on a stone, leases outstanding.
 // Safe for concurrent use. The zero value is ready; a Gauge must not be
-// copied after first use.
+// copied after first use (enforced by `go vet`).
 type Gauge struct {
-	mu   sync.Mutex
-	v    int64
-	peak int64
+	noCopy noCopy
+	mu     sync.Mutex
+	v      int64
+	peak   int64
 }
 
 // Add moves the level by delta (negative to release) and returns the new
@@ -48,6 +59,17 @@ func (g *Gauge) Add(delta int64) int64 {
 		g.peak = g.v
 	}
 	return g.v
+}
+
+// Set forces the level to v (e.g. re-baselining between dumps),
+// updating the high-water mark like Add.
+func (g *Gauge) Set(v int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.v = v
+	if v > g.peak {
+		g.peak = v
+	}
 }
 
 // Value returns the current level.

@@ -1,6 +1,10 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+
+	"predata/internal/trace"
+)
 
 // This file implements the collective operations as generic functions over
 // element slices. Collectives must be called by every rank of the
@@ -17,7 +21,7 @@ func Bcast[T any](c *Comm, data []T, root int) ([]T, error) {
 	if err := checkRoot(c, root); err != nil {
 		return nil, err
 	}
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(trace.CollBcast)
 	n := c.Size()
 	// Rotate so the root becomes virtual rank 0 in a binomial tree.
 	vrank := (c.rank - root + n) % n
@@ -51,7 +55,7 @@ func Reduce[T any](c *Comm, in []T, op func(a, b T) T, root int) ([]T, error) {
 	if err := checkRoot(c, root); err != nil {
 		return nil, err
 	}
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(trace.CollReduce)
 	n := c.Size()
 	vrank := (c.rank - root + n) % n
 	acc := append([]T(nil), in...)
@@ -100,7 +104,7 @@ func Gather[T any](c *Comm, in []T, root int) ([][]T, error) {
 	if err := checkRoot(c, root); err != nil {
 		return nil, err
 	}
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(trace.CollGather)
 	if c.rank != root {
 		return nil, c.send(root, tag, in)
 	}
@@ -171,7 +175,7 @@ func Scatter[T any](c *Comm, parts [][]T, root int) ([]T, error) {
 	if c.rank == root && len(parts) != c.Size() {
 		return nil, fmt.Errorf("mpi: Scatter needs %d parts, got %d", c.Size(), len(parts))
 	}
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(trace.CollScatter)
 	if c.rank == root {
 		for i, p := range parts {
 			if i == root {
@@ -201,7 +205,7 @@ func Alltoall[T any](c *Comm, send [][]T) ([][]T, error) {
 	if len(send) != c.Size() {
 		return nil, fmt.Errorf("mpi: Alltoall needs %d send buffers, got %d", c.Size(), len(send))
 	}
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(trace.CollAlltoall)
 	n := c.Size()
 	recv := make([][]T, n)
 	recv[c.rank] = send[c.rank]
@@ -229,7 +233,7 @@ func Alltoall[T any](c *Comm, send [][]T) ([][]T, error) {
 // Scan computes the inclusive prefix reduction: rank r receives
 // op(in_0, ..., in_r), elementwise.
 func Scan[T any](c *Comm, in []T, op func(a, b T) T) ([]T, error) {
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(trace.CollScan)
 	acc := append([]T(nil), in...)
 	if c.rank > 0 {
 		msg, err := c.recv(c.rank-1, tag)
@@ -262,7 +266,7 @@ func ExScan[T any](c *Comm, in []T, op func(a, b T) T, zero T) ([]T, error) {
 	if err != nil {
 		return nil, err
 	}
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(trace.CollExScan)
 	// Shift the inclusive result right by one rank.
 	if c.rank < c.Size()-1 {
 		if err := c.send(c.rank+1, tag, inc); err != nil {

@@ -20,6 +20,8 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+
+	"predata/internal/trace"
 )
 
 // Wildcards for Recv matching.
@@ -132,7 +134,27 @@ type Comm struct {
 	rank    int   // caller's rank within this communicator
 	members []int // world rank of each communicator rank
 	collSeq int   // collective sequence number, advances in lockstep
+
+	// Flight-recorder state. Comm methods are single-goroutine by
+	// contract, so plain fields suffice; Split and Dup propagate both
+	// into derived communicators.
+	tracer    *trace.Recorder
+	traceDump int64
 }
+
+// SetTracer attaches a flight recorder to this rank's view of the
+// communicator: every collective call records a PhaseCollective
+// instant carrying its sequence number, op code, and communicator id.
+// A nil recorder (the default) records nothing.
+func (c *Comm) SetTracer(tr *trace.Recorder) {
+	c.tracer = tr
+	c.traceDump = -1
+}
+
+// SetTraceDump stamps subsequent collective events with the dump
+// (timestep) currently being processed, so recordings group collective
+// sequences per dump.
+func (c *Comm) SetTraceDump(dump int64) { c.traceDump = dump }
 
 // Rank returns the caller's rank in the communicator.
 func (c *Comm) Rank() int { return c.rank }
@@ -240,8 +262,13 @@ func (c *Comm) Irecv(from, tag int) *Request {
 // nextCollTag reserves the internal tag for the next collective call. All
 // ranks call collectives in the same order, so the sequence numbers agree.
 // Internal tags are negative and therefore cannot collide with user tags.
-func (c *Comm) nextCollTag() int {
+// The op code identifies which collective consumed the tag; it is recorded
+// so trace.Verify can compare both the order and the kind of every
+// collective across ranks.
+func (c *Comm) nextCollTag(op int32) int {
 	c.collSeq++
+	c.tracer.Instant(trace.PhaseCollective, c.members[c.rank], int(op),
+		c.traceDump, int64(c.collSeq), int64(c.id))
 	return -c.collSeq
 }
 
@@ -249,7 +276,7 @@ func (c *Comm) nextCollTag() int {
 // It is implemented as a dissemination barrier: log2(n) rounds of paired
 // notifications.
 func (c *Comm) Barrier() error {
-	tag := c.nextCollTag()
+	tag := c.nextCollTag(trace.CollBarrier)
 	n := len(c.members)
 	for dist := 1; dist < n; dist *= 2 {
 		to := (c.rank + dist) % n
@@ -274,6 +301,11 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Record the split itself on every participant — including ranks
+	// leaving with a negative color — so traced collective sequences
+	// stay identical across the whole parent group.
+	c.tracer.Instant(trace.PhaseCollective, c.members[c.rank], int(trace.CollSplit),
+		c.traceDump, int64(c.collSeq), int64(c.id))
 	if color < 0 {
 		return nil, nil
 	}
@@ -303,7 +335,8 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 	// agree without extra communication: parent id, collective seq, and
 	// color uniquely identify this split result.
 	id := c.id*1_000_003 + c.collSeq*4099 + color + 7
-	return &Comm{world: c.world, id: id, rank: myRank, members: members}, nil
+	return &Comm{world: c.world, id: id, rank: myRank, members: members,
+		tracer: c.tracer, traceDump: c.traceDump}, nil
 }
 
 // Dup returns a communicator with the same group but a distinct id, so
@@ -312,8 +345,11 @@ func (c *Comm) Split(color, key int) (*Comm, error) {
 func (c *Comm) Dup() (*Comm, error) {
 	// Advance the collective sequence in lockstep so ids agree.
 	c.collSeq++
+	c.tracer.Instant(trace.PhaseCollective, c.members[c.rank], int(trace.CollDup),
+		c.traceDump, int64(c.collSeq), int64(c.id))
 	id := c.id*1_000_003 + c.collSeq*4099 + 3
-	return &Comm{world: c.world, id: id, rank: c.rank, members: append([]int(nil), c.members...)}, nil
+	return &Comm{world: c.world, id: id, rank: c.rank, members: append([]int(nil), c.members...),
+		tracer: c.tracer, traceDump: c.traceDump}, nil
 }
 
 // Run executes fn on n goroutine ranks sharing a new world and blocks until

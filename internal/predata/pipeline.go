@@ -14,6 +14,7 @@ import (
 	"predata/internal/flowctl"
 	"predata/internal/mpi"
 	"predata/internal/staging"
+	"predata/internal/trace"
 )
 
 // PipelineConfig describes a complete compute + staging job sharing one
@@ -65,6 +66,11 @@ type PipelineConfig struct {
 	// directory and escalation limits). Its BudgetBytes field is ignored —
 	// the budget always derives from BufferMB.
 	Overload flowctl.Policy
+	// Tracer, when non-nil, flight-records the run: fabric operations,
+	// staging engine stages, collectives, flow-control decisions and
+	// recovery events all land in its ring buffers, ready for export or
+	// trace.Verify. A nil Tracer costs nothing on any hot path.
+	Tracer *trace.Recorder
 }
 
 // FaultReport aggregates fault-injection and recovery activity across
@@ -202,6 +208,7 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 	}
 	fcfg.Endpoints = total
 	fcfg.Faults = inj
+	fcfg.Tracer = cfg.Tracer
 	fab, err := fabric.New(fcfg)
 	if err != nil {
 		return nil, err
@@ -235,6 +242,7 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 				fab.Shutdown()
 			}
 		}()
+		world.SetTracer(cfg.Tracer)
 		isCompute := world.Rank() < cfg.NumCompute
 		color := 0
 		if !isCompute {
@@ -260,6 +268,7 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 				PartialCalculate: cfg.PartialCalculate,
 				Faults:           inj,
 				Retry:            cfg.Retry,
+				Tracer:           cfg.Tracer,
 			})
 			if err != nil {
 				return err
@@ -284,7 +293,10 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 			if err != nil {
 				return err
 			}
+			flow.SetTracer(cfg.Tracer, world.Rank())
 		}
+		engine := staging.NewEngine(cfg.Engine)
+		engine.SetTracer(cfg.Tracer, world.Rank())
 		server, err := NewServer(ServerConfig{
 			StagingIndex:    myIdx,
 			Comm:            comm,
@@ -294,13 +306,14 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 			StagingBase:     cfg.NumCompute,
 			Route:           cfg.Route,
 			Aggregate:       cfg.Aggregate,
-			Engine:          staging.NewEngine(cfg.Engine),
+			Engine:          engine,
 			PullConcurrency: cfg.PullConcurrency,
 			ChunkOrder:      cfg.ChunkOrder,
 			ChunkFilter:     cfg.ChunkFilter,
 			Faults:          inj,
 			Retry:           cfg.Retry,
 			Flow:            flow,
+			Tracer:          cfg.Tracer,
 		})
 		if err != nil {
 			return err
@@ -319,6 +332,7 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 			nowLive := liveStagingAt(inj, cfg.NumCompute, cfg.NumStaging, int64(dump))
 			if !slices.Equal(nowLive, prevLive) {
 				recStart := time.Now()
+				rsp := cfg.Tracer.Begin(trace.PhaseRecovery, world.Rank(), -1, int64(dump), -1)
 				color := 0
 				if inj.DownAt(cfg.NumCompute+myIdx, int64(dump)) {
 					color = -1
@@ -331,11 +345,14 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 					if err := fab.FailEndpoint(world.Rank()); err != nil {
 						return err
 					}
+					cfg.Tracer.Instant(trace.PhaseCrashExit, world.Rank(), -1, int64(dump), int64(len(results)), 0)
+					rsp.End(0)
 					//predata:vet-ignore collectivecheck dump-aligned crash: this rank split out with color<0, so survivors' collectives use the shrunk communicator that excludes it
 					break
 				}
 				cur = sub
 				server.Reconfigure(cur, time.Since(recStart))
+				rsp.End(int64(len(nowLive)))
 				prevLive = nowLive
 			}
 			r, st, err := server.ServeDump(int64(dump), opsFor(dump))

@@ -32,6 +32,7 @@ import (
 	"predata/internal/flowctl"
 	"predata/internal/mpi"
 	"predata/internal/staging"
+	"predata/internal/trace"
 )
 
 // FetchRequest is the control message a compute rank sends to its staging
@@ -112,6 +113,9 @@ type ClientConfig struct {
 	// Retry bounds transient-fault retries of the fetch-request send.
 	// Zero fields take DefaultRetryPolicy values.
 	Retry RetryPolicy
+	// Tracer, when non-nil, records write spans and retry/reroute
+	// instants into the flight recorder.
+	Tracer *trace.Recorder
 }
 
 // Client is the PreDatA runtime inside one compute process.
@@ -169,6 +173,7 @@ const (
 // them into one record (as the GTC proxy does with its two species).
 func (c *Client) Write(schema *ffs.Schema, rec ffs.Record, timestep int64) (time.Duration, error) {
 	start := time.Now()
+	sp := c.cfg.Tracer.Begin(trace.PhaseWrite, c.cfg.Endpoint.ID(), -1, timestep, -1)
 	if c.cfg.Transform != nil {
 		var err error
 		schema, rec, err = c.cfg.Transform(schema, rec)
@@ -210,6 +215,8 @@ func (c *Client) Write(schema *ffs.Schema, rec ffs.Record, timestep int64) (time
 	}
 	if rerouted {
 		c.Rerouted++
+		c.cfg.Tracer.Instant(trace.PhaseReroute, c.cfg.Endpoint.ID(),
+			c.cfg.StagingBase+idx, timestep, 0, 0)
 	}
 	dst := c.cfg.StagingBase + idx
 	req := FetchRequest{
@@ -225,6 +232,7 @@ func (c *Client) Write(schema *ffs.Schema, rec ffs.Record, timestep int64) (time
 	visible := time.Since(start)
 	c.VisibleTime += visible
 	c.PackedBytes += int64(len(buf))
+	sp.End(int64(len(buf)))
 	return visible, nil
 }
 
@@ -238,6 +246,8 @@ func (c *Client) sendWithRetry(dst int, req FetchRequest) error {
 			return err
 		}
 		c.Retries++
+		c.cfg.Tracer.Instant(trace.PhaseRetry, c.cfg.Endpoint.ID(), dst,
+			req.Timestep, int64(attempt), 0)
 		time.Sleep(c.retry.backoff(attempt))
 	}
 }
@@ -299,6 +309,11 @@ type ServerConfig struct {
 	// behavior). With Flow set, the dump is also bounded by the retry
 	// policy's DumpDeadline, since admission waits must have a horizon.
 	Flow *flowctl.Controller
+	// Tracer, when non-nil, records gather/aggregate spans and retry
+	// instants into the flight recorder. ServeDump also stamps the
+	// engine, communicator, and fabric endpoint with the current dump
+	// so their events group per timestep.
+	Tracer *trace.Recorder
 }
 
 // DumpStats reports the staging-side cost of one dump on one rank.
@@ -429,11 +444,20 @@ func (s *Server) Reconfigure(comm *mpi.Comm, recovery time.Duration) {
 func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Result, *DumpStats, error) {
 	stats := &DumpStats{RecoveryWall: s.recovery}
 	s.recovery = 0
+	if s.cfg.Tracer != nil {
+		// Stamp the dump onto every layer this rank records from:
+		// collective instants, engine phase spans, and the fabric's
+		// control-plane events all group under this timestep.
+		s.cfg.Comm.SetTraceDump(timestep)
+		s.cfg.Engine.SetTraceDump(timestep)
+		s.cfg.Endpoint.SetEpoch(timestep)
+	}
 
 	// Stage 2a: gather fetch requests from every served compute rank.
 	// Under fault injection the gather is deadline-bound: the staging
 	// area is collective, so one wedged gather wedges every rank.
 	start := time.Now()
+	sp := s.cfg.Tracer.Begin(trace.PhaseGather, s.cfg.Endpoint.ID(), -1, timestep, -1)
 	served := s.servedAt(timestep)
 	var deadline time.Time
 	if s.cfg.Faults != nil {
@@ -467,11 +491,13 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 			stats.Redistributed++
 		}
 	}
+	sp.End(int64(len(reqs)))
 	stats.GatherWall = time.Since(start)
 
 	// Stage 2b: exchange piggybacked partials across the staging area and
 	// aggregate them globally.
 	start = time.Now()
+	sp = s.cfg.Tracer.Begin(trace.PhaseAggregate, s.cfg.Endpoint.ID(), -1, timestep, -1)
 	local := make([]RankPartial, len(reqs))
 	for i, r := range reqs {
 		local[i] = RankPartial{Rank: r.WriterRank, Partial: r.Partial}
@@ -489,6 +515,7 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 		sort.Slice(flat, func(i, j int) bool { return flat[i].Rank < flat[j].Rank })
 		agg = s.cfg.Aggregate(flat)
 	}
+	sp.End(0)
 	stats.AggregateWall = time.Since(start)
 
 	// Stages 3+4: pull chunks (bounded concurrency) and stream them
@@ -781,6 +808,8 @@ func (s *Server) recvRequest(deadline time.Time, stats *DumpStats) (FetchRequest
 		if err != nil {
 			if errors.Is(err, faults.ErrTransient) {
 				stats.Retries++
+				s.cfg.Tracer.Instant(trace.PhaseRetry, s.cfg.Endpoint.ID(), -1,
+					-1, int64(attempt), 0)
 				time.Sleep(s.retry.backoff(attempt))
 				continue
 			}
@@ -807,6 +836,8 @@ func (s *Server) pullWithRetry(ctx context.Context, req FetchRequest, stats *Dum
 		mu.Lock()
 		stats.Retries++
 		mu.Unlock()
+		s.cfg.Tracer.Instant(trace.PhaseRetry, s.cfg.Endpoint.ID(), req.Handle.Endpoint,
+			req.Timestep, int64(attempt), 0)
 		time.Sleep(s.retry.backoff(attempt))
 	}
 }

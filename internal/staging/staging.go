@@ -20,6 +20,7 @@ import (
 	"predata/internal/ffs"
 	"predata/internal/metrics"
 	"predata/internal/mpi"
+	"predata/internal/trace"
 )
 
 // ShedClass records how the overload ladder classed a chunk on its way
@@ -108,6 +109,13 @@ type Config struct {
 // Engine executes operators over chunk streams.
 type Engine struct {
 	cfg Config
+
+	// Flight-recorder state. A staging rank serves dumps serially from
+	// one goroutine, so plain fields suffice; the Map workers only read
+	// them.
+	tracer    *trace.Recorder
+	traceEP   int
+	traceDump int64
 }
 
 // NewEngine returns an engine with the given configuration.
@@ -115,8 +123,21 @@ func NewEngine(cfg Config) *Engine {
 	if cfg.Workers < 1 {
 		cfg.Workers = 1
 	}
-	return &Engine{cfg: cfg}
+	return &Engine{cfg: cfg, traceEP: -1, traceDump: -1}
 }
+
+// SetTracer attaches a flight recorder; endpoint is the world rank
+// recorded on this engine's phase spans. A nil recorder records
+// nothing.
+func (e *Engine) SetTracer(tr *trace.Recorder, endpoint int) {
+	e.tracer = tr
+	e.traceEP = endpoint
+}
+
+// SetTraceDump stamps subsequent phase spans with the dump being
+// processed. The caller must not invoke it concurrently with
+// ProcessDump.
+func (e *Engine) SetTraceDump(dump int64) { e.traceDump = dump }
 
 // Context is the per-operator, per-dump execution context handed to every
 // operator callback.
@@ -223,11 +244,13 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 
 	// Initialize.
 	start := time.Now()
+	sp := e.tracer.Begin(trace.PhaseInitialize, e.traceEP, -1, e.traceDump, -1)
 	for i, op := range ops {
 		if err := op.Initialize(ctxs[i], agg); err != nil {
 			return nil, fmt.Errorf("staging: %s.Initialize: %w", op.Name(), err)
 		}
 	}
+	sp.End(int64(len(ops)))
 	res.Breakdown.Add("initialize", time.Since(start))
 
 	// Map: stream chunks through a worker pool. Each chunk visits every
@@ -244,6 +267,7 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 		}
 	}
 	start = time.Now()
+	sp = e.tracer.Begin(trace.PhaseMap, e.traceEP, -1, e.traceDump, -1)
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex
@@ -275,6 +299,8 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 				if chunk.Release != nil {
 					chunk.Release()
 				}
+				e.tracer.Instant(trace.PhaseChunk, e.traceEP, chunk.WriterRank,
+					chunk.Timestep, int64(chunk.WriterRank), int64(chunk.Shed))
 				countMu.Lock()
 				nChunks++
 				if chunk.Shed != ShedNone {
@@ -288,6 +314,7 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 		}()
 	}
 	wg.Wait()
+	sp.End(nChunks)
 	res.Chunks = int(nChunks)
 	res.ShedSkips = int(nSkips)
 	if shedSeen && anyOptional {
@@ -316,6 +343,7 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 	for i, op := range ops {
 		opBD := res.OperatorBreakdown[op.Name()]
 		start = time.Now()
+		sp = e.tracer.Begin(trace.PhaseCombine, e.traceEP, -1, e.traceDump, int64(i))
 		ctx := ctxs[i]
 		if cb, ok := op.(Combiner); ok {
 			for tag, vals := range ctx.emitted {
@@ -333,8 +361,10 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 			emitted += len(vals)
 		}
 		res.OperatorEmitted[op.Name()] = emitted
+		sp.End(int64(emitted))
 
 		start = time.Now()
+		sp = e.tracer.Begin(trace.PhaseShuffle, e.traceEP, -1, e.traceDump, int64(i))
 		partition := func(tag int) int {
 			if p, ok := op.(Partitioner); ok {
 				return p.Partition(tag, comm.Size())
@@ -356,10 +386,12 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 		if err != nil {
 			return nil, fmt.Errorf("staging: %s shuffle: %w", op.Name(), err)
 		}
+		sp.End(int64(emitted))
 		res.Breakdown.Add("shuffle", time.Since(start))
 		opBD.Add("shuffle", time.Since(start))
 
 		start = time.Now()
+		sp = e.tracer.Begin(trace.PhaseReduce, e.traceEP, -1, e.traceDump, int64(i))
 		groups := make(map[int][]any)
 		for _, row := range recv {
 			for _, tv := range row {
@@ -377,18 +409,21 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 				return nil, fmt.Errorf("staging: %s.Reduce(tag %d): %w", op.Name(), tag, err)
 			}
 		}
+		sp.End(int64(len(tags)))
 		res.Breakdown.Add("reduce", time.Since(start))
 		opBD.Add("reduce", time.Since(start))
 	}
 
 	// Finalize.
 	start = time.Now()
+	sp = e.tracer.Begin(trace.PhaseFinalize, e.traceEP, -1, e.traceDump, -1)
 	for i, op := range ops {
 		if err := op.Finalize(ctxs[i]); err != nil {
 			return nil, fmt.Errorf("staging: %s.Finalize: %w", op.Name(), err)
 		}
 		res.PerOperator[op.Name()] = ctxs[i].results
 	}
+	sp.End(int64(len(ops)))
 	res.Breakdown.Add("finalize", time.Since(start))
 	return res, nil
 }

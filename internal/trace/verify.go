@@ -1,0 +1,324 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// VerifyReport summarizes what Verify checked and what it found. A
+// report with no Violations means every invariant held on every
+// group the recording contained.
+type VerifyReport struct {
+	Events           int      // events inspected
+	CollectiveGroups int      // (dump, communicator) groups compared
+	Collectives      int      // collective instants inspected
+	ShuffleEdges     int      // (dump, operator) shuffle→reduce edges checked
+	ReplayChecks     int      // (rank, dump) replay-before-reduce checks
+	LeaseRanks       int      // ranks whose lease peak was bounded
+	Violations       []string // human-readable invariant failures
+}
+
+// Verify checks runtime ordering invariants from a recording alone:
+//
+//  1. Collective-sequence equality — within each (dump, communicator)
+//     group, every rank consumed the same ordered (sequence, op) list,
+//     the runtime complement of the collectivecheck vet analyzer.
+//  2. Shuffle happens-before — per (dump, operator), each rank's
+//     Shuffle span ends before its Reduce span starts, and no rank
+//     begins Reduce before every participant has entered Shuffle
+//     (Alltoall cannot complete until all peers have sent).
+//  3. Spill-replay-before-Reduce — per (rank, dump), every replayed
+//     chunk is delivered before the first Reduce begins.
+//  4. Lease-peak bound — per rank, the peak of budget-accounted bytes
+//     never exceeds capacity plus one grant (the Overdraft allowance).
+//
+// It returns an error when the recording is unusable (nil, empty, or
+// lossy — dropped events could hide a violation) or when any
+// invariant fails; the report carries the details either way.
+func Verify(rec *Recording) (*VerifyReport, error) {
+	if rec == nil {
+		return nil, errors.New("trace: nil recording")
+	}
+	rep := &VerifyReport{Events: len(rec.Events)}
+	if len(rec.Events) == 0 {
+		return rep, errors.New("trace: empty recording")
+	}
+	if rec.Dropped > 0 {
+		return rep, fmt.Errorf("trace: recording dropped %d events; cannot verify a lossy trace", rec.Dropped)
+	}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if e.Kind == KindSpan && e.End < e.Start {
+			rep.fail("event %d (%s rank %d): span ends %dns before it starts",
+				i, e.Name(), e.Rank, e.Start-e.End)
+		}
+	}
+	verifyCollectives(rec, rep)
+	verifyShuffleEdges(rec, rep)
+	verifyReplayOrder(rec, rep)
+	verifyLeasePeaks(rec, rep)
+	if len(rep.Violations) > 0 {
+		return rep, fmt.Errorf("trace: %d invariant violation(s):\n  %s",
+			len(rep.Violations), strings.Join(rep.Violations, "\n  "))
+	}
+	return rep, nil
+}
+
+func (r *VerifyReport) fail(format string, args ...any) {
+	r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+}
+
+// collKey groups collective instants: ranks are only comparable when
+// they called into the same communicator during the same dump.
+type collKey struct {
+	dump int64
+	comm int64
+}
+
+// collCall is one consumed collective sequence number.
+type collCall struct {
+	seq int64
+	op  int32
+}
+
+// verifyCollectives checks that within each (dump, communicator)
+// group every participating rank recorded the identical ordered
+// (seq, op) list — the trace-level statement that no rank skipped,
+// reordered, or substituted a collective.
+func verifyCollectives(rec *Recording, rep *VerifyReport) {
+	groups := map[collKey]map[int32][]collCall{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if e.Phase != PhaseCollective {
+			continue
+		}
+		rep.Collectives++
+		k := collKey{dump: e.Dump, comm: e.Arg}
+		if groups[k] == nil {
+			groups[k] = map[int32][]collCall{}
+		}
+		groups[k][e.Rank] = append(groups[k][e.Rank], collCall{seq: e.Seq, op: e.Endpoint})
+	}
+	keys := make([]collKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dump != keys[j].dump {
+			return keys[i].dump < keys[j].dump
+		}
+		return keys[i].comm < keys[j].comm
+	})
+	for _, k := range keys {
+		byRank := groups[k]
+		rep.CollectiveGroups++
+		ranks := make([]int32, 0, len(byRank))
+		for r := range byRank {
+			// Events are time-sorted globally; a rank's calls into one
+			// communicator are sequential, so sort by seq to get its
+			// program order regardless of clock ties.
+			calls := byRank[r]
+			sort.Slice(calls, func(i, j int) bool {
+				if calls[i].seq != calls[j].seq {
+					return calls[i].seq < calls[j].seq
+				}
+				return calls[i].op < calls[j].op
+			})
+			ranks = append(ranks, r)
+		}
+		sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+		ref := byRank[ranks[0]]
+		for _, r := range ranks[1:] {
+			if !sameCalls(ref, byRank[r]) {
+				rep.fail("dump %d comm %d: rank %d collective sequence %s differs from rank %d's %s",
+					k.dump, k.comm, r, fmtCalls(byRank[r]), ranks[0], fmtCalls(ref))
+			}
+		}
+	}
+}
+
+func sameCalls(a, b []collCall) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func fmtCalls(calls []collCall) string {
+	parts := make([]string, len(calls))
+	for i, c := range calls {
+		parts[i] = fmt.Sprintf("%d:%s", c.seq, CollName(c.op))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// opKey identifies one operator's shuffle/reduce pair within a dump.
+type opKey struct {
+	dump int64
+	op   int64
+}
+
+// verifyShuffleEdges checks the happens-before structure of each
+// shuffle: per rank the Shuffle span must close before Reduce opens,
+// and across ranks no Reduce may start before the latest participant
+// entered its Shuffle — Alltoall only completes once every peer has
+// contributed, so an earlier Reduce means the trace (or the runtime)
+// lied about the exchange.
+func verifyShuffleEdges(rec *Recording, rep *VerifyReport) {
+	type window struct {
+		shuffleStart map[int32]int64
+		shuffleEnd   map[int32]int64
+		reduceStart  map[int32]int64
+	}
+	groups := map[opKey]*window{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if e.Kind != KindSpan || (e.Phase != PhaseShuffle && e.Phase != PhaseReduce) {
+			continue
+		}
+		k := opKey{dump: e.Dump, op: e.Seq}
+		w := groups[k]
+		if w == nil {
+			w = &window{shuffleStart: map[int32]int64{}, shuffleEnd: map[int32]int64{}, reduceStart: map[int32]int64{}}
+			groups[k] = w
+		}
+		if e.Phase == PhaseShuffle {
+			w.shuffleStart[e.Rank] = e.Start
+			w.shuffleEnd[e.Rank] = e.End
+		} else {
+			w.reduceStart[e.Rank] = e.Start
+		}
+	}
+	keys := make([]opKey, 0, len(groups))
+	for k := range groups {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dump != keys[j].dump {
+			return keys[i].dump < keys[j].dump
+		}
+		return keys[i].op < keys[j].op
+	})
+	for _, k := range keys {
+		w := groups[k]
+		var latestShuffleStart int64 = -1
+		var latestRank int32 = -1
+		for r, s := range w.shuffleStart {
+			if _, ok := w.reduceStart[r]; !ok {
+				continue // rank crashed or shed before Reduce; no edge
+			}
+			if s > latestShuffleStart {
+				latestShuffleStart, latestRank = s, r
+			}
+		}
+		for r, rs := range w.reduceStart {
+			se, ok := w.shuffleEnd[r]
+			if !ok {
+				continue // reduce without a recorded shuffle (degraded path)
+			}
+			rep.ShuffleEdges++
+			if se > rs {
+				rep.fail("dump %d op %d rank %d: shuffle ends at %dns after reduce starts at %dns",
+					k.dump, k.op, r, se, rs)
+			}
+			if latestShuffleStart >= 0 && rs < latestShuffleStart {
+				rep.fail("dump %d op %d rank %d: reduce starts at %dns before rank %d entered shuffle at %dns",
+					k.dump, k.op, r, rs, latestRank, latestShuffleStart)
+			}
+		}
+	}
+}
+
+// verifyReplayOrder checks that on every rank, all spilled chunks of a
+// dump were replayed before that dump's first Reduce began — the
+// lossless-spill contract: nothing reduces until the spill segment has
+// been drained back into the chunk stream.
+func verifyReplayOrder(rec *Recording, rep *VerifyReport) {
+	type rd struct {
+		rank int32
+		dump int64
+	}
+	lastReplay := map[rd]int64{}
+	firstReduce := map[rd]int64{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		k := rd{rank: e.Rank, dump: e.Dump}
+		switch {
+		case e.Phase == PhaseReplay:
+			if e.Start > lastReplay[k] {
+				lastReplay[k] = e.Start
+			}
+		case e.Phase == PhaseReduce && e.Kind == KindSpan:
+			if cur, ok := firstReduce[k]; !ok || e.Start < cur {
+				firstReduce[k] = e.Start
+			}
+		}
+	}
+	keys := make([]rd, 0, len(lastReplay))
+	for k := range lastReplay {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		return keys[i].dump < keys[j].dump
+	})
+	for _, k := range keys {
+		reduce, ok := firstReduce[k]
+		if !ok {
+			continue // dump never reduced on this rank (no operators)
+		}
+		rep.ReplayChecks++
+		if lastReplay[k] > reduce {
+			rep.fail("rank %d dump %d: replay at %dns after first reduce at %dns",
+				k.rank, k.dump, lastReplay[k], reduce)
+		}
+	}
+}
+
+// verifyLeasePeaks checks the budget accountant's bound per rank: the
+// highest used-after value any lease movement observed must stay
+// within capacity plus the largest single grant (the one-chunk
+// Overdraft allowance). The used-after value is recorded inside the
+// budget's own critical section, so this needs no clock reasoning.
+func verifyLeasePeaks(rec *Recording, rep *VerifyReport) {
+	caps := map[int32]int64{}
+	peaks := map[int32]int64{}
+	grants := map[int32]int64{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		switch e.Phase {
+		case PhaseBudgetCap:
+			if e.Arg > caps[e.Rank] {
+				caps[e.Rank] = e.Arg
+			}
+		case PhaseLease:
+			if e.Seq > peaks[e.Rank] {
+				peaks[e.Rank] = e.Seq
+			}
+			if e.Arg > grants[e.Rank] {
+				grants[e.Rank] = e.Arg
+			}
+		}
+	}
+	ranks := make([]int32, 0, len(caps))
+	for r := range caps {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	for _, r := range ranks {
+		rep.LeaseRanks++
+		if limit := caps[r] + grants[r]; peaks[r] > limit {
+			rep.fail("rank %d: lease peak %d B exceeds budget %d B + largest grant %d B",
+				r, peaks[r], caps[r], grants[r])
+		}
+	}
+}
