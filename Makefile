@@ -1,7 +1,7 @@
 GO ?= go
 VET_BIN := bin/predata-vet
 
-.PHONY: all build test race fmt vet bench-smoke trace-test evaluation clean
+.PHONY: all build test race fmt vet bench-smoke trace-test elastic-soak evaluation clean
 
 all: build vet test
 
@@ -37,6 +37,15 @@ trace-test:
 	$(GO) test -race -shuffle=on ./internal/trace/ -run . -count=1
 	$(GO) test -race -shuffle=on -run 'TraceConformance|Prop' ./internal/predata/ ./internal/ops/
 	$(GO) run ./cmd/predata-bench -experiment trace -json BENCH_trace.json
+
+# elastic-soak runs the elasticity suite: autoscaler + xray driver
+# units, the resize/handoff/conservation tests (raced, shuffled —
+# includes a crash injected during a grow step), and the elastic
+# experiment (DESIGN.md §11). CI repeats it across fault seeds 1/7/42.
+elastic-soak:
+	$(GO) test -race -shuffle=on -count=1 ./internal/elastic/ ./internal/apps/xray/
+	$(GO) test -race -shuffle=on -count=1 -run 'Elastic|Reconfigure|Split|Resize' ./internal/predata/ ./internal/mpi/ ./internal/dataspaces/
+	$(GO) run ./cmd/predata-bench -experiment elastic -json BENCH_elastic.json
 
 evaluation:
 	$(GO) run ./cmd/predata-bench -experiment all

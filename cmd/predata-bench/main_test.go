@@ -19,6 +19,7 @@ func TestRunEachExperiment(t *testing.T) {
 		{"offline", "in-transit"},
 		{"overload", "degradation ladder"},
 		{"trace", "trace overhead"},
+		{"elastic", "staging autoscaling"},
 		{"ablations", "scheduled vs unscheduled"},
 	}
 	for _, c := range cases {

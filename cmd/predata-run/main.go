@@ -7,6 +7,7 @@
 //
 //	predata-run -compute 16 -staging 4 -particles 50000 -dumps 2 -ops sort,hist,hist2d,index
 //	predata-run -app pixie3d -compute 8 -staging 2 -local 16 -ops reorg
+//	predata-run -app xray -compute 8 -staging 3 -dumps 10 -buffer-mb 1 -elastic 1:3 -scale-policy growk=1,cooldown=1
 package main
 
 import (
@@ -18,8 +19,10 @@ import (
 	"time"
 
 	"predata/internal/adios"
+	"predata/internal/apps/xray"
 	"predata/internal/bench"
 	"predata/internal/bp"
+	"predata/internal/elastic"
 	"predata/internal/faults"
 	"predata/internal/ffs"
 	"predata/internal/flowctl"
@@ -35,11 +38,12 @@ func main() {
 	var (
 		mode      = flag.String("mode", "staging", "configuration: staging|incompute")
 		adiosCfg  = flag.String("adios-config", "", "ADIOS XML config selecting the method per group (overrides -mode)")
-		app       = flag.String("app", "gtc", "workload: gtc|pixie3d")
+		app       = flag.String("app", "gtc", "workload: gtc|pixie3d|xray")
 		compute   = flag.Int("compute", 16, "compute ranks")
 		stagingN  = flag.Int("staging", 4, "staging ranks")
 		particles = flag.Int("particles", 50000, "particles per compute rank (gtc)")
 		local     = flag.Int("local", 16, "local array edge (pixie3d)")
+		frames    = flag.Int("frames", 64, "quiet-dump frames per compute rank (xray; bursts scale this 10-100x)")
 		dumps     = flag.Int("dumps", 2, "I/O dumps")
 		opsFlag   = flag.String("ops", "sort,hist", "operators: sort,hist,hist2d,index,reorg")
 		workers   = flag.Int("workers", 2, "map workers per staging rank")
@@ -50,6 +54,10 @@ func main() {
 		spillDir  = flag.String("spill-dir", "", "directory for overload spill segments (default: system temp)")
 		tracePath = flag.String("trace", "",
 			"flight-record the run and write the trace here (.json: Chrome trace_event; otherwise PDTRACE1 binary; staging mode only)")
+		elasticSpec = flag.String("elastic", "",
+			"autoscale the active staging pool within \"min:max\" of the provisioned -staging ranks (staging mode only)")
+		scalePolicy = flag.String("scale-policy", "",
+			"autoscaler tuning as comma-separated k=v pairs: growk, shrinkj, lowutil, cooldown, maxstep, window (requires -elastic)")
 	)
 	flag.Parse()
 
@@ -77,6 +85,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "predata-run: -trace requires -mode staging")
 			os.Exit(2)
 		}
+		if *elasticSpec != "" {
+			fmt.Fprintln(os.Stderr, "predata-run: -elastic requires -mode staging")
+			os.Exit(2)
+		}
+		if *app == "xray" {
+			fmt.Fprintln(os.Stderr, "predata-run: the xray workload requires -mode staging")
+			os.Exit(2)
+		}
 		if err := runInCompute(*app, *compute, *particles, *local, *dumps); err != nil {
 			fmt.Fprintln(os.Stderr, "predata-run:", err)
 			os.Exit(1)
@@ -87,13 +103,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "predata-run: unknown -mode", *mode)
 		os.Exit(2)
 	}
-	if err := run(*app, *compute, *stagingN, *particles, *local, *dumps, *workers, *opsFlag, *faultPlan, *faultSeed, *bufferMB, *spillDir, *tracePath); err != nil {
+	if err := run(*app, *compute, *stagingN, *particles, *local, *frames, *dumps, *workers, *opsFlag, *faultPlan, *faultSeed, *bufferMB, *spillDir, *tracePath, *elasticSpec, *scalePolicy); err != nil {
 		fmt.Fprintln(os.Stderr, "predata-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, compute, stagingN, particles, local, dumps, workers int, opsFlag, faultPlan string, faultSeed int64, bufferMB int, spillDir, tracePath string) error {
+func run(app string, compute, stagingN, particles, local, frames, dumps, workers int, opsFlag, faultPlan string, faultSeed int64, bufferMB int, spillDir, tracePath, elasticSpec, scalePolicy string) error {
 	opNames := strings.Split(opsFlag, ",")
 	factory, err := operatorFactory(app, opNames)
 	if err != nil {
@@ -136,14 +152,43 @@ func run(app string, compute, stagingN, particles, local, dumps, workers int, op
 		cfg.Aggregate = ops.MinMaxAggregate()
 	}
 	start := time.Now()
-	res, err := predata.RunPipeline(cfg, computeFn(app, particles, local, dumps), factory)
-	if err != nil {
-		return err
+	var (
+		res   *predata.PipelineResult
+		scale *predata.ScaleReport
+	)
+	if elasticSpec != "" {
+		pol, err := parseScalePolicy(elasticSpec, scalePolicy)
+		if err != nil {
+			return err
+		}
+		res, scale, err = predata.RunElastic(cfg, predata.ElasticConfig{Policy: pol},
+			computeFn(app, particles, local, frames, dumps, faultSeed), factory)
+		if err != nil {
+			return err
+		}
+	} else {
+		if scalePolicy != "" {
+			return fmt.Errorf("-scale-policy requires -elastic")
+		}
+		res, err = predata.RunPipeline(cfg, computeFn(app, particles, local, frames, dumps, faultSeed), factory)
+		if err != nil {
+			return err
+		}
 	}
 	wall := time.Since(start)
 
 	fmt.Printf("pipeline: %d compute + %d staging ranks, %d dumps, wall %v\n",
 		compute, stagingN, dumps, wall.Round(time.Millisecond))
+	if scale != nil {
+		fmt.Printf("elastic: %d decisions (%d grows, %d shrinks, %d holds, %d in cooldown), active %d..%d ranks, final %d, %d rank-dumps\n",
+			scale.Decisions, scale.Grows, scale.Shrinks, scale.Holds, scale.CooldownHolds,
+			scale.MinActive, scale.MaxActive, scale.FinalActive, scale.RankDumps)
+		for _, ep := range scale.Epochs {
+			fmt.Printf("elastic: epoch %d from dump %d: %d active (%s), handoff %d cells in %v\n",
+				ep.Epoch, ep.FirstDump, ep.Active, scaleDirName(ep.Direction),
+				ep.HandoffCells, ep.HandoffWall.Round(time.Microsecond))
+		}
+	}
 	if recorder != nil {
 		if err := exportTrace(recorder, tracePath); err != nil {
 			return err
@@ -226,21 +271,96 @@ func exportTrace(recorder *trace.Recorder, path string) error {
 }
 
 func varFor(app string) string {
-	if app == "pixie3d" {
+	switch app {
+	case "pixie3d":
 		return "rho"
+	case "xray":
+		return "frames"
 	}
 	return "p"
 }
 
 func partialCols(app string) []int {
-	if app == "pixie3d" {
+	switch app {
+	case "pixie3d":
 		return nil
+	case "xray":
+		return []int{xray.AttrEnergy, xray.AttrX, xray.AttrY}
 	}
 	return []int{bench.ColZeta, bench.ColRadial, bench.ColRank}
 }
 
+// parseScalePolicy builds the autoscaler policy from the -elastic
+// "min:max" bounds and the optional -scale-policy k=v tuning pairs.
+func parseScalePolicy(spec, tuning string) (elastic.Policy, error) {
+	var pol elastic.Policy
+	if n, err := fmt.Sscanf(spec, "%d:%d", &pol.Min, &pol.Max); n != 2 || err != nil {
+		return pol, fmt.Errorf("bad -elastic %q (want min:max, e.g. 1:4)", spec)
+	}
+	if tuning != "" {
+		for _, pair := range strings.Split(tuning, ",") {
+			k, v, ok := strings.Cut(strings.TrimSpace(pair), "=")
+			if !ok {
+				return pol, fmt.Errorf("bad -scale-policy entry %q (want k=v)", pair)
+			}
+			var err error
+			switch strings.ToLower(k) {
+			case "growk":
+				_, err = fmt.Sscanf(v, "%d", &pol.GrowK)
+			case "shrinkj":
+				_, err = fmt.Sscanf(v, "%d", &pol.ShrinkJ)
+			case "lowutil":
+				_, err = fmt.Sscanf(v, "%g", &pol.LowUtil)
+			case "cooldown":
+				_, err = fmt.Sscanf(v, "%d", &pol.Cooldown)
+			case "maxstep":
+				_, err = fmt.Sscanf(v, "%d", &pol.MaxStep)
+			case "window":
+				_, err = fmt.Sscanf(v, "%d", &pol.Window)
+			default:
+				return pol, fmt.Errorf("unknown -scale-policy key %q (want growk|shrinkj|lowutil|cooldown|maxstep|window)", k)
+			}
+			if err != nil {
+				return pol, fmt.Errorf("bad -scale-policy value %q for %s: %v", v, k, err)
+			}
+		}
+	}
+	return pol, pol.Validate()
+}
+
+func scaleDirName(dir int) string {
+	switch {
+	case dir > 0:
+		return "grow"
+	case dir < 0:
+		return "shrink"
+	}
+	return "hold"
+}
+
 // computeFn builds the per-rank application driver.
-func computeFn(app string, particles, local, dumps int) predata.ComputeFunc {
+func computeFn(app string, particles, local, frames, dumps int, seed int64) predata.ComputeFunc {
+	if app == "xray" {
+		return func(comm *mpi.Comm, client *predata.Client) error {
+			det, err := xray.New(xray.Config{
+				Rank:       comm.Rank(),
+				NumRanks:   comm.Size(),
+				BaseFrames: frames,
+				Steps:      dumps,
+				Seed:       seed,
+			})
+			if err != nil {
+				return err
+			}
+			schema := xray.Schema()
+			for step := 0; step < dumps; step++ {
+				if _, err := client.Write(schema, ffs.Record{"frames": det.Frames(int64(step))}, int64(step)); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
 	if app == "pixie3d" {
 		return func(comm *mpi.Comm, client *predata.Client) error {
 			n := uint64(local * local * local)
@@ -283,20 +403,33 @@ func operatorFactory(app string, names []string) (predata.OperatorFactory, error
 			return nil, fmt.Errorf("unknown operator %q (want sort|hist|hist2d|index|reorg)", n)
 		}
 	}
+	// Column choices per workload: the GTC particle attributes, or the
+	// detector-frame attributes of the xray proxy.
+	v := varFor(app)
+	keyMajor, keyMinor := bench.ColRank, bench.ColID
+	histCols := []int{bench.ColZeta, bench.ColRadial, bench.ColWeight}
+	pairCols := [][2]int{{bench.ColZeta, bench.ColRadial}}
+	indexCols := []int{bench.ColZeta, bench.ColRadial}
+	if app == "xray" {
+		keyMajor, keyMinor = xray.AttrEnergy, xray.AttrFrameID
+		histCols = []int{xray.AttrEnergy, xray.AttrIntensity}
+		pairCols = [][2]int{{xray.AttrX, xray.AttrY}}
+		indexCols = []int{xray.AttrEnergy}
+	}
 	return func(dump int) []staging.Operator {
 		var out []staging.Operator
 		for _, n := range names {
 			switch strings.TrimSpace(n) {
 			case "sort":
 				op, err := ops.NewSortOperator(ops.SortConfig{
-					Var: "p", KeyMajor: bench.ColRank, KeyMinor: bench.ColID, AggFromColumn: true,
+					Var: v, KeyMajor: keyMajor, KeyMinor: keyMinor, AggFromColumn: true,
 				})
 				if err == nil {
 					out = append(out, op)
 				}
 			case "hist":
 				op, err := ops.NewHistogramOperator(ops.HistogramConfig{
-					Var: "p", Columns: []int{bench.ColZeta, bench.ColRadial, bench.ColWeight},
+					Var: v, Columns: histCols,
 					Bins: 64, AggRanges: true,
 				})
 				if err == nil {
@@ -304,7 +437,7 @@ func operatorFactory(app string, names []string) (predata.OperatorFactory, error
 				}
 			case "hist2d":
 				op, err := ops.NewHistogram2DOperator(ops.Histogram2DConfig{
-					Var: "p", Pairs: [][2]int{{bench.ColZeta, bench.ColRadial}},
+					Var: v, Pairs: pairCols,
 					Bins: 32, AggRanges: true,
 				})
 				if err == nil {
@@ -312,7 +445,7 @@ func operatorFactory(app string, names []string) (predata.OperatorFactory, error
 				}
 			case "index":
 				op, err := ops.NewBitmapIndexOperator(ops.BitmapIndexConfig{
-					Var: "p", Columns: []int{bench.ColZeta, bench.ColRadial},
+					Var: v, Columns: indexCols,
 					Bins: 32, AggRanges: true,
 				})
 				if err == nil {

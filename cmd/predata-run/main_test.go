@@ -11,25 +11,25 @@ import (
 )
 
 func TestRunGTCPipeline(t *testing.T) {
-	if err := run("gtc", 4, 2, 500, 8, 1, 2, "sort,hist,hist2d,index", "", 1, 0, "", ""); err != nil {
+	if err := run("gtc", 4, 2, 500, 8, 64, 1, 2, "sort,hist,hist2d,index", "", 1, 0, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunPixiePipeline(t *testing.T) {
-	if err := run("pixie3d", 4, 1, 0, 8, 1, 1, "reorg", "", 1, 0, "", ""); err != nil {
+	if err := run("pixie3d", 4, 1, 0, 8, 64, 1, 1, "reorg", "", 1, 0, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknownOperator(t *testing.T) {
-	if err := run("gtc", 2, 1, 10, 8, 1, 1, "sort,frobnicate", "", 1, 0, "", ""); err == nil {
+	if err := run("gtc", 2, 1, 10, 8, 64, 1, 1, "sort,frobnicate", "", 1, 0, "", "", "", ""); err == nil {
 		t.Fatal("unknown operator accepted")
 	}
 }
 
 func TestRunMultipleDumps(t *testing.T) {
-	if err := run("gtc", 4, 2, 200, 8, 3, 2, "hist", "", 1, 0, "", ""); err != nil {
+	if err := run("gtc", 4, 2, 200, 8, 64, 3, 2, "hist", "", 1, 0, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -37,7 +37,7 @@ func TestRunMultipleDumps(t *testing.T) {
 func TestRunWithMemoryBudget(t *testing.T) {
 	// A 1 MB budget with ~1.3 MB arriving per staging rank per dump: the
 	// full CLI path must complete under admission control and spill.
-	if err := run("gtc", 8, 2, 20000, 8, 2, 1, "hist", "", 1, 1, t.TempDir(), ""); err != nil {
+	if err := run("gtc", 8, 2, 20000, 8, 64, 2, 1, "hist", "", 1, 1, t.TempDir(), "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -45,15 +45,15 @@ func TestRunWithMemoryBudget(t *testing.T) {
 func TestRunFaultPlanChaos(t *testing.T) {
 	// Transients plus a staging crash at dump 1: the run must complete
 	// (degraded, not failed) under the full CLI path.
-	if err := run("gtc", 4, 2, 200, 8, 2, 2, "hist", "transient:*:0.05;crash:5@1", 42, 0, "", ""); err != nil {
+	if err := run("gtc", 4, 2, 200, 8, 64, 2, 2, "hist", "transient:*:0.05;crash:5@1", 42, 0, "", "", "", ""); err != nil {
 		t.Fatal(err)
 	}
 	// A malformed plan fails before the pipeline launches.
-	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "explode:everything", 1, 0, "", ""); err == nil {
+	if err := run("gtc", 2, 1, 10, 8, 64, 1, 1, "hist", "explode:everything", 1, 0, "", "", "", ""); err == nil {
 		t.Fatal("malformed fault plan accepted")
 	}
 	// A plan crashing a compute endpoint is rejected.
-	if err := run("gtc", 2, 1, 10, 8, 1, 1, "hist", "crash:0@0", 1, 0, "", ""); err == nil {
+	if err := run("gtc", 2, 1, 10, 8, 64, 1, 1, "hist", "crash:0@0", 1, 0, "", "", "", ""); err == nil {
 		t.Fatal("compute-endpoint crash accepted")
 	}
 }
@@ -62,7 +62,7 @@ func TestRunWithTrace(t *testing.T) {
 	dir := t.TempDir()
 	// Binary export: the file must round-trip through the PDTRACE1 reader.
 	bin := filepath.Join(dir, "run.trace")
-	if err := run("gtc", 4, 2, 300, 8, 2, 2, "sort,hist", "", 1, 0, "", bin); err != nil {
+	if err := run("gtc", 4, 2, 300, 8, 64, 2, 2, "sort,hist", "", 1, 0, "", bin, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	rec, err := trace.ReadFile(bin)
@@ -77,7 +77,7 @@ func TestRunWithTrace(t *testing.T) {
 	}
 	// Chrome export: the .json suffix selects trace_event output.
 	cj := filepath.Join(dir, "run.json")
-	if err := run("gtc", 4, 1, 100, 8, 1, 1, "hist", "", 1, 0, "", cj); err != nil {
+	if err := run("gtc", 4, 1, 100, 8, 64, 1, 1, "hist", "", 1, 0, "", cj, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	raw, err := os.ReadFile(cj)
@@ -109,14 +109,62 @@ func TestOperatorFactoryValidation(t *testing.T) {
 }
 
 func TestVarFor(t *testing.T) {
-	if varFor("gtc") != "p" || varFor("pixie3d") != "rho" {
+	if varFor("gtc") != "p" || varFor("pixie3d") != "rho" || varFor("xray") != "frames" {
 		t.Error("variable mapping wrong")
 	}
 	if partialCols("pixie3d") != nil {
 		t.Error("pixie partial columns should be nil")
 	}
-	if len(partialCols("gtc")) == 0 {
-		t.Error("gtc partial columns empty")
+	if len(partialCols("gtc")) == 0 || len(partialCols("xray")) == 0 {
+		t.Error("gtc/xray partial columns empty")
+	}
+}
+
+func TestRunElasticXray(t *testing.T) {
+	// The full CLI path of the bursty detector workload under an elastic
+	// 1:3 pool: a 1 MB budget that bursts overrun, aggressive grow, and a
+	// verified trace export spanning the resizes.
+	tr := filepath.Join(t.TempDir(), "elastic.trace")
+	if err := run("xray", 8, 3, 0, 8, 100, 8, 1, "hist", "", 7, 1, t.TempDir(), tr,
+		"1:3", "growk=1,shrinkj=2,cooldown=1"); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := trace.ReadFile(tr)
+	if err != nil {
+		t.Fatalf("reading exported trace: %v", err)
+	}
+	if _, err := trace.Verify(rec); err != nil {
+		t.Fatalf("re-verifying exported trace: %v", err)
+	}
+}
+
+func TestParseScalePolicy(t *testing.T) {
+	pol, err := parseScalePolicy("1:4", "growk=3,shrinkj=5,lowutil=0.5,cooldown=2,maxstep=1,window=8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pol.Min != 1 || pol.Max != 4 || pol.GrowK != 3 || pol.ShrinkJ != 5 ||
+		pol.LowUtil != 0.5 || pol.Cooldown != 2 || pol.MaxStep != 1 || pol.Window != 8 {
+		t.Fatalf("parsed policy %+v", pol)
+	}
+	for _, bad := range []struct{ spec, tuning string }{
+		{"", ""},
+		{"4", ""},
+		{"4:1", ""},           // Max < Min
+		{"0:2", ""},           // Min < 1
+		{"1:2", "growk"},      // not k=v
+		{"1:2", "bogus=3"},    // unknown key
+		{"1:2", "growk=fast"}, // unparsable value
+	} {
+		if _, err := parseScalePolicy(bad.spec, bad.tuning); err == nil {
+			t.Errorf("parseScalePolicy(%q, %q) accepted", bad.spec, bad.tuning)
+		}
+	}
+}
+
+func TestRunRejectsScalePolicyWithoutElastic(t *testing.T) {
+	if err := run("gtc", 2, 1, 10, 8, 64, 1, 1, "hist", "", 1, 0, "", "", "", "growk=1"); err == nil {
+		t.Fatal("-scale-policy without -elastic accepted")
 	}
 }
 

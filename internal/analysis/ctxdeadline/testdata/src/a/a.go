@@ -62,3 +62,34 @@ func goodConditioned(try func() error, deadline time.Time) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// An autoscaler polling for the pool to reach its target with no deadline,
+// cancellation, or attempt bound: a crashed joiner stalls the poll forever.
+func badScalePoll(active func() int, target int) {
+	for { // want `retry loop sleeps between attempts but has no deadline, cancellation, or attempt bound`
+		if active() >= target {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The same scaling-decision poll bounded by a per-epoch attempt budget.
+func goodScalePollBounded(active func() int, target, maxPolls int) {
+	for attempt := 0; ; attempt++ {
+		if active() >= target || attempt >= maxPolls {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// The same poll cancellable through the resize epoch's context.
+func goodScalePollCtx(ctx context.Context, active func() int, target int) {
+	for {
+		if active() >= target || ctx.Err() != nil {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

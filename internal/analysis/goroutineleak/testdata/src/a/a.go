@@ -70,3 +70,28 @@ func goodContext(ctx context.Context, out chan int) {
 func goodForeign() {
 	go fmt.Println("owned by the stdlib")
 }
+
+type shard struct{ cells []int }
+
+// A retiring rank firing its shard drain without any join: the handoff can
+// outlive the resize epoch and race the next dump's reads.
+func badDrain(shards []shard, move func(shard)) {
+	for _, s := range shards {
+		go func(sh shard) { // want `goroutine has no join mechanism`
+			move(sh)
+		}(s)
+	}
+}
+
+// The same drain joined before the resize epoch is declared complete.
+func goodDrainJoined(shards []shard, move func(shard)) {
+	var wg sync.WaitGroup
+	for _, s := range shards {
+		wg.Add(1)
+		go func(sh shard) {
+			defer wg.Done()
+			move(sh)
+		}(s)
+	}
+	wg.Wait()
+}

@@ -167,6 +167,44 @@ func TestOverloadExperiment(t *testing.T) {
 	}
 }
 
+func TestElasticExperiment(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_elastic.json")
+	runFig(t, "elastic", func() (string, error) {
+		var buf bytes.Buffer
+		err := Elastic(&buf, jsonPath)
+		return buf.String(), err
+	}, "static-small", "static-large", "elastic", "zero frames lost")
+	doc, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("elastic json not written: %v", err)
+	}
+	var sum ElasticSummary
+	if err := json.Unmarshal(doc, &sum); err != nil {
+		t.Fatalf("elastic json unparsable: %v", err)
+	}
+	if len(sum.Runs) != 3 {
+		t.Fatalf("elastic json has %d runs, want 3", len(sum.Runs))
+	}
+	small, large, el := sum.Runs[0], sum.Runs[1], sum.Runs[2]
+	// The acceptance inequalities Elastic itself enforces, re-checked from
+	// the emitted document.
+	if el.SpilledBytes+el.PassedBytes >= small.SpilledBytes+small.PassedBytes {
+		t.Errorf("elastic overflow %d not below static-small %d",
+			el.SpilledBytes+el.PassedBytes, small.SpilledBytes+small.PassedBytes)
+	}
+	if el.RankDumps >= large.RankDumps {
+		t.Errorf("elastic rank-dumps %d not below static-large %d", el.RankDumps, large.RankDumps)
+	}
+	if el.Grows == 0 || el.MaxActive <= el.MinActive {
+		t.Errorf("elastic leg never scaled: %+v", el)
+	}
+	for _, r := range sum.Runs {
+		if r.DataLoss != 0 {
+			t.Errorf("%s lost %d frames", r.Name, r.DataLoss)
+		}
+	}
+}
+
 func TestAblationScheduling(t *testing.T) {
 	runFig(t, "scheduling", func() (string, error) {
 		var buf bytes.Buffer

@@ -54,6 +54,11 @@ type Space struct {
 	curve2 *hilbert.Curve2D
 	curve3 *hilbert.Curve3D
 
+	// smu guards the servers slice: every public operation reads the
+	// current shard layout under RLock; Resize swaps in a rehashed layout
+	// under the write lock, so an operation never sees a half-moved
+	// space.
+	smu     sync.RWMutex
 	servers []*server
 
 	mu   sync.Mutex
@@ -296,6 +301,8 @@ func (s *Space) Put(name string, version int, lb, ub []uint64, data []float64) e
 	if uint64(len(data)) != regionElems(lb, ub) {
 		return fmt.Errorf("dataspaces: region holds %d cells, data has %d", regionElems(lb, ub), len(data))
 	}
+	s.smu.RLock()
+	defer s.smu.RUnlock()
 	err := s.forEachBlock(lb, ub, func(coord, ilb, iub []uint64) error {
 		id := s.blockID(coord)
 		srv := s.servers[s.serverOf(id)]
@@ -382,6 +389,8 @@ func (s *Space) Get(name string, version int, lb, ub []uint64) ([]float64, error
 		return nil, err
 	}
 	out := make([]float64, regionElems(lb, ub))
+	s.smu.RLock()
+	defer s.smu.RUnlock()
 	err := s.forEachBlock(lb, ub, func(coord, ilb, iub []uint64) error {
 		id := s.blockID(coord)
 		srv := s.servers[s.serverOf(id)]
@@ -468,6 +477,8 @@ func (s *Space) Reduce(name string, version int, lb, ub []uint64, op ReduceOp) (
 // versions they have finished with so long runs stay within budget.
 func (s *Space) EvictVersion(name string, version int) int64 {
 	var cells int64
+	s.smu.RLock()
+	defer s.smu.RUnlock()
 	for _, srv := range s.servers {
 		srv.mu.Lock()
 		for k, bd := range srv.objects {
@@ -485,6 +496,8 @@ func (s *Space) EvictVersion(name string, version int) int64 {
 // servers — the space's in-memory footprint in value units.
 func (s *Space) MemoryCells() int64 {
 	var n int64
+	s.smu.RLock()
+	defer s.smu.RUnlock()
 	for _, srv := range s.servers {
 		srv.mu.Lock()
 		for _, bd := range srv.objects {
@@ -498,6 +511,8 @@ func (s *Space) MemoryCells() int64 {
 // Versions lists the stored versions of an object, ascending.
 func (s *Space) Versions(name string) []int {
 	seen := map[int]bool{}
+	s.smu.RLock()
+	defer s.smu.RUnlock()
 	for _, srv := range s.servers {
 		srv.mu.Lock()
 		for k := range srv.objects {
@@ -594,6 +609,8 @@ type Stats struct {
 
 // Stats snapshots the space's storage and query distribution.
 func (s *Space) Stats() Stats {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
 	st := Stats{
 		BlocksPerServer:  make([]int, len(s.servers)),
 		CellsPerServer:   make([]int64, len(s.servers)),
@@ -612,4 +629,54 @@ func (s *Space) Stats() Stats {
 }
 
 // Servers returns the number of servers backing the space.
-func (s *Space) Servers() int { return len(s.servers) }
+func (s *Space) Servers() int {
+	s.smu.RLock()
+	defer s.smu.RUnlock()
+	return len(s.servers)
+}
+
+// ResizeStats reports one shard-handoff pass: the layout change and how
+// much data physically moved between shards.
+type ResizeStats struct {
+	From, To    int
+	MovedBlocks int
+	MovedCells  int64
+}
+
+// Resize rehashes every stored block onto n servers — the shard handoff
+// an elastic staging pool runs at a resize epoch. Donors hand blocks to
+// joiners on grow; retiring shards hand everything to survivors on
+// shrink. The swap is atomic with respect to every other operation
+// (they serialize behind the layout lock), no block is lost or
+// duplicated, and blocks whose placement is unchanged do not move.
+// Per-server query counters restart at zero: they describe shards of
+// one layout, not the space's lifetime.
+func (s *Space) Resize(n int) (ResizeStats, error) {
+	if n < 1 {
+		return ResizeStats{}, fmt.Errorf("dataspaces: Resize to %d servers (want >= 1)", n)
+	}
+	s.smu.Lock()
+	defer s.smu.Unlock()
+	st := ResizeStats{From: len(s.servers), To: n}
+	if n == len(s.servers) {
+		return st, nil
+	}
+	next := make([]*server, n)
+	for i := range next {
+		next[i] = &server{objects: make(map[objKey]*blockData)}
+	}
+	for oldIdx, srv := range s.servers {
+		srv.mu.Lock()
+		for k, bd := range srv.objects {
+			dst := int(k.block % uint64(n))
+			next[dst].objects[k] = bd
+			if dst != oldIdx {
+				st.MovedBlocks++
+				st.MovedCells += int64(len(bd.data))
+			}
+		}
+		srv.mu.Unlock()
+	}
+	s.servers = next
+	return st, nil
+}

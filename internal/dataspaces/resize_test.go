@@ -1,0 +1,181 @@
+package dataspaces
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func resizeSpace(t *testing.T, servers int) *Space {
+	t.Helper()
+	s, err := New(Config{
+		Servers: servers,
+		Domain:  Domain{Dims: []uint64{64, 64}, BlockSize: []uint64{8, 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func fillVersion(t *testing.T, s *Space, version int) []float64 {
+	t.Helper()
+	data := make([]float64, 64*64)
+	for i := range data {
+		data[i] = float64(version*100000 + i)
+	}
+	if err := s.Put("field", version, []uint64{0, 0}, []uint64{64, 64}, data); err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func checkVersion(t *testing.T, s *Space, version int, want []float64) {
+	t.Helper()
+	got, err := s.Get("field", version, []uint64{0, 0}, []uint64{64, 64})
+	if err != nil {
+		t.Fatalf("version %d after resize: %v", version, err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("version %d cell %d = %g, want %g", version, i, got[i], want[i])
+		}
+	}
+}
+
+func TestResizePreservesEveryCell(t *testing.T) {
+	s := resizeSpace(t, 2)
+	want := fillVersion(t, s, 0)
+	before := s.MemoryCells()
+
+	for _, n := range []int{4, 3, 1, 5} {
+		st, err := s.Resize(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.To != n || s.Servers() != n {
+			t.Fatalf("resize to %d landed on %d servers", n, s.Servers())
+		}
+		if got := s.MemoryCells(); got != before {
+			t.Fatalf("resize to %d: %d cells, want %d", n, got, before)
+		}
+		checkVersion(t, s, 0, want)
+		// Every block must sit on the server its id hashes to in the new
+		// layout: sum of per-server blocks is conserved.
+		stats := s.Stats()
+		blocks := 0
+		for _, b := range stats.BlocksPerServer {
+			blocks += b
+		}
+		if blocks != 64 { // 8x8 block grid fully populated
+			t.Fatalf("resize to %d: %d blocks, want 64", n, blocks)
+		}
+	}
+}
+
+func TestResizeMovedAccounting(t *testing.T) {
+	s := resizeSpace(t, 2)
+	fillVersion(t, s, 0)
+
+	// Same size: a no-op with nothing moved.
+	st, err := s.Resize(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MovedBlocks != 0 || st.MovedCells != 0 {
+		t.Fatalf("no-op resize moved %d blocks / %d cells", st.MovedBlocks, st.MovedCells)
+	}
+
+	// 2 → 4 servers: blocks with id%4 >= 2 change placement (half of a
+	// uniformly populated even block-id range).
+	st, err = s.Resize(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MovedBlocks != 32 {
+		t.Fatalf("2→4 moved %d blocks, want 32", st.MovedBlocks)
+	}
+	if st.MovedCells != int64(st.MovedBlocks)*64 {
+		t.Fatalf("moved cells %d inconsistent with %d blocks of 64 cells", st.MovedCells, st.MovedBlocks)
+	}
+
+	// Shrink to 1: every block on servers 1..3 moves home to server 0.
+	preStats := s.Stats()
+	fromOthers := 0
+	for i := 1; i < len(preStats.BlocksPerServer); i++ {
+		fromOthers += preStats.BlocksPerServer[i]
+	}
+	st, err = s.Resize(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MovedBlocks != fromOthers {
+		t.Fatalf("4→1 moved %d blocks, want %d", st.MovedBlocks, fromOthers)
+	}
+
+	if _, err := s.Resize(0); err == nil {
+		t.Fatal("Resize(0) accepted")
+	}
+}
+
+// TestResizeUnderConcurrentTraffic rehashes the space repeatedly while
+// writers and readers pound it — run with -race this is the handoff
+// atomicity check: no operation may observe a half-moved layout.
+func TestResizeUnderConcurrentTraffic(t *testing.T) {
+	s := resizeSpace(t, 2)
+	const versions = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, versions*2+1)
+
+	for v := 0; v < versions; v++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			data := make([]float64, 64*64)
+			for i := range data {
+				data[i] = float64(v*100000 + i)
+			}
+			if err := s.Put("field", v, []uint64{0, 0}, []uint64{64, 64}, data); err != nil {
+				errs <- err
+				return
+			}
+			got, err := s.Get("field", v, []uint64{0, 0}, []uint64{64, 64})
+			if err != nil {
+				errs <- err
+				return
+			}
+			for i := range data {
+				if got[i] != data[i] {
+					errs <- fmt.Errorf("version %d cell %d = %g, want %g", v, i, got[i], data[i])
+					return
+				}
+			}
+		}(v)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		sizes := []int{4, 1, 3, 2, 5, 1, 4, 2}
+		for _, n := range sizes {
+			if _, err := s.Resize(n); err != nil {
+				errs <- err
+				return
+			}
+			s.MemoryCells()
+			s.Stats()
+		}
+	}()
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	// After the dust settles every version reads back intact.
+	for v := 0; v < versions; v++ {
+		want := make([]float64, 64*64)
+		for i := range want {
+			want[i] = float64(v*100000 + i)
+		}
+		checkVersion(t, s, v, want)
+	}
+}

@@ -51,6 +51,17 @@ type Budget struct {
 	throttles    metrics.Counter
 	throttleWait int64 // nanoseconds, guarded by mu
 
+	// Utilization window (guarded by mu): a per-dump measurement of how
+	// much of the budget was actually held. winIntegral accumulates
+	// used-bytes × wall-time between movements, so winIntegral / window
+	// duration is the time-weighted mean held bytes — the signal the
+	// autoscaler's shrink rule reads. ResetWindow opens a fresh window;
+	// Window closes out the integral and snapshots it.
+	winStart    time.Time
+	winLast     time.Time
+	winIntegral float64 // byte·nanoseconds
+	winPeak     int64
+
 	// Flight-recorder state, set once via SetTracer before the budget
 	// sees concurrent use.
 	tracer  *trace.Recorder
@@ -114,9 +125,62 @@ func (b *Budget) fitsLocked(n int64) bool {
 	return used+n <= b.capacity || used == 0
 }
 
+// advanceWindowLocked folds the wall time since the last budget
+// movement into the utilization integral at the level held over that
+// interval. Called before every movement and on window snapshots.
+func (b *Budget) advanceWindowLocked(now time.Time) {
+	if b.winLast.IsZero() {
+		b.winStart, b.winLast = now, now
+		b.winPeak = b.used.Value()
+		return
+	}
+	if dt := now.Sub(b.winLast); dt > 0 {
+		b.winIntegral += float64(b.used.Value()) * float64(dt)
+	}
+	b.winLast = now
+}
+
+// ResetWindow opens a fresh utilization window. The controller calls it
+// at StartDump so Window at Finish describes exactly one dump.
+func (b *Budget) ResetWindow() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	now := time.Now()
+	b.winStart, b.winLast = now, now
+	b.winIntegral = 0
+	b.winPeak = b.used.Value()
+}
+
+// WindowStats describes one utilization window: the peak bytes held
+// against the budget and the time-weighted mean over the window.
+type WindowStats struct {
+	PeakBytes int64
+	MeanBytes int64
+}
+
+// Window closes out the utilization integral at the current instant and
+// snapshots the window. The window keeps accumulating; call ResetWindow
+// to start the next one.
+func (b *Budget) Window() WindowStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advanceWindowLocked(time.Now())
+	ws := WindowStats{PeakBytes: b.winPeak}
+	if d := b.winLast.Sub(b.winStart); d > 0 {
+		ws.MeanBytes = int64(b.winIntegral / float64(d))
+	} else {
+		ws.MeanBytes = b.used.Value()
+	}
+	return ws
+}
+
 // admitLocked accounts n admitted bytes and updates the overload latch.
 func (b *Budget) admitLocked(n int64) {
+	b.advanceWindowLocked(time.Now())
 	v := b.used.Add(n)
+	if v > b.winPeak {
+		b.winPeak = v
+	}
 	b.tracer.Instant(trace.PhaseLease, b.traceEP, -1, -1, v, n)
 	if v >= b.high {
 		if !b.overHigh {
@@ -202,7 +266,10 @@ func (b *Budget) TryAcquire(n int64) (*Lease, bool) {
 // exists for the spill path's transient pull buffer: the caller holds the
 // overdraft only while moving the bytes to disk, and spills serialize so
 // at most one overdraft is outstanding — bounding the accountant's peak
-// at capacity + one chunk.
+// at the admission ceiling + one chunk. The ceiling is the capacity,
+// except that fitsLocked grants one chunk larger than the whole budget
+// when the accountant is idle, so with such chunks the peak can reach
+// one oversized grant + one overdraft (the bound trace.Verify checks).
 func (b *Budget) Overdraft(n int64) *Lease {
 	if n <= 0 {
 		return &Lease{}
@@ -216,6 +283,7 @@ func (b *Budget) Overdraft(n int64) *Lease {
 // release returns n bytes and hands credits to FIFO waiters in order.
 func (b *Budget) release(n int64) {
 	b.mu.Lock()
+	b.advanceWindowLocked(time.Now())
 	v := b.used.Add(-n)
 	b.tracer.Instant(trace.PhaseLease, b.traceEP, -1, -1, v, -n)
 	if v <= b.low {

@@ -143,6 +143,18 @@ type OverloadStats struct {
 	PeakBytes int64
 	// MaxLevel is the highest ladder level the dump reached.
 	MaxLevel int
+	// Lease utilization for this dump alone: BudgetBytes is the
+	// accountant's capacity, HeldPeakBytes the most bytes held against it
+	// at any instant during the dump, and HeldMeanBytes the time-weighted
+	// mean held over the dump. UtilizationPeak/UtilizationMean restate
+	// the held figures as fractions of capacity — the signal the elastic
+	// autoscaler's shrink rule reads (an idle pool shows near-zero mean
+	// utilization even though the lifetime PeakBytes stays high forever).
+	BudgetBytes     int64
+	HeldPeakBytes   int64
+	HeldMeanBytes   int64
+	UtilizationPeak float64
+	UtilizationMean float64
 }
 
 // Controller owns one staging rank's budget and stamps out per-dump flow
@@ -185,6 +197,7 @@ func (c *Controller) Policy() Policy { return c.pol }
 // StartDump opens per-dump flow state: ladder level, spill segment, and
 // decision counters.
 func (c *Controller) StartDump(timestep int64) *DumpFlow {
+	c.budget.ResetWindow()
 	return &DumpFlow{
 		c:         c,
 		timestep:  timestep,
@@ -506,6 +519,14 @@ func (df *DumpFlow) Finish() OverloadStats {
 	df.stats.ThrottleWait = now.ThrottleWait - df.base.ThrottleWait
 	df.stats.PeakBytes = now.Peak
 	df.stats.MaxLevel = df.maxLevel
+	win := df.c.budget.Window()
+	df.stats.BudgetBytes = now.Capacity
+	df.stats.HeldPeakBytes = win.PeakBytes
+	df.stats.HeldMeanBytes = win.MeanBytes
+	if now.Capacity > 0 {
+		df.stats.UtilizationPeak = float64(win.PeakBytes) / float64(now.Capacity)
+		df.stats.UtilizationMean = float64(win.MeanBytes) / float64(now.Capacity)
+	}
 	df.finalStat = df.stats
 	return df.finalStat
 }

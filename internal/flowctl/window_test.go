@@ -1,0 +1,106 @@
+package flowctl
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBudgetWindowPeakAndMean(t *testing.T) {
+	b, err := NewBudget(1000, 0.9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.ResetWindow()
+	l, err := b.Acquire(context.Background(), 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	l.Release()
+	time.Sleep(10 * time.Millisecond)
+	w := b.Window()
+	if w.PeakBytes != 600 {
+		t.Fatalf("window peak = %d, want 600", w.PeakBytes)
+	}
+	// Held 600 for ~half the window: the time-weighted mean must land
+	// strictly between idle and peak (wide margins for scheduler noise).
+	if w.MeanBytes <= 0 || w.MeanBytes >= 600 {
+		t.Fatalf("window mean = %d, want in (0, 600)", w.MeanBytes)
+	}
+
+	// A fresh window forgets the earlier activity entirely.
+	b.ResetWindow()
+	time.Sleep(2 * time.Millisecond)
+	w = b.Window()
+	if w.PeakBytes != 0 || w.MeanBytes != 0 {
+		t.Fatalf("idle window = %+v, want zeros", w)
+	}
+}
+
+func TestBudgetWindowStartsAtCurrentHolding(t *testing.T) {
+	b, err := NewBudget(1000, 0.9, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := b.Acquire(context.Background(), 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Release()
+	b.ResetWindow()
+	time.Sleep(2 * time.Millisecond)
+	w := b.Window()
+	if w.PeakBytes != 400 {
+		t.Fatalf("carried-over peak = %d, want 400", w.PeakBytes)
+	}
+	if w.MeanBytes < 300 {
+		t.Fatalf("carried-over mean = %d, want ~400", w.MeanBytes)
+	}
+}
+
+func TestDumpFlowFinishReportsUtilization(t *testing.T) {
+	c, err := NewController(testPolicy(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := c.StartDump(0)
+	a, err := df.Admit(context.Background(), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	release, err := a.Keep()
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond)
+	release()
+	st := df.Finish()
+	if st.BudgetBytes != 1000 {
+		t.Fatalf("BudgetBytes = %d, want 1000", st.BudgetBytes)
+	}
+	if st.HeldPeakBytes != 500 {
+		t.Fatalf("HeldPeakBytes = %d, want 500", st.HeldPeakBytes)
+	}
+	if st.UtilizationPeak != 0.5 {
+		t.Fatalf("UtilizationPeak = %g, want 0.5", st.UtilizationPeak)
+	}
+	if st.HeldMeanBytes <= 0 || st.HeldMeanBytes > 500 {
+		t.Fatalf("HeldMeanBytes = %d, want in (0, 500]", st.HeldMeanBytes)
+	}
+	if st.UtilizationMean <= 0 || st.UtilizationMean > 0.5 {
+		t.Fatalf("UtilizationMean = %g, want in (0, 0.5]", st.UtilizationMean)
+	}
+
+	// The next dump's window starts fresh: an idle dump reports zero
+	// utilization even though the lifetime PeakBytes stays at 500.
+	df2 := c.StartDump(1)
+	time.Sleep(2 * time.Millisecond)
+	st2 := df2.Finish()
+	if st2.HeldPeakBytes != 0 || st2.UtilizationMean != 0 {
+		t.Fatalf("idle dump utilization = %+v, want zeros", st2)
+	}
+	if st2.PeakBytes != 500 {
+		t.Fatalf("lifetime peak = %d, want 500", st2.PeakBytes)
+	}
+}

@@ -162,6 +162,21 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the number of ranks in the communicator.
 func (c *Comm) Size() int { return len(c.members) }
 
+// ID returns the communicator id, equal on all members. Derived
+// communicators (Split, Dup) compute their ids deterministically from
+// the parent's id and collective sequence, so two call sites can decide
+// whether they hold views of the same communicator without extra
+// communication — Server.Reconfigure relies on this to tell a duplicate
+// reconfigure from a conflicting one.
+func (c *Comm) ID() int { return c.id }
+
+// WorldRank returns the caller's rank in the world communicator.
+func (c *Comm) WorldRank() int { return c.members[c.rank] }
+
+// Members returns the world rank of each communicator rank, in
+// communicator order. The returned slice is a copy.
+func (c *Comm) Members() []int { return append([]int(nil), c.members...) }
+
 // Send delivers data to rank `to` with the given tag (tag must be >= 0).
 // The payload is handed off by reference; the sender must not mutate it
 // afterwards.

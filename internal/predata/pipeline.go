@@ -125,6 +125,14 @@ type OverloadReport struct {
 	PeakBytes int64
 	// MaxLevel is the highest ladder level any dump reached.
 	MaxLevel int
+	// Lease utilization: UtilizationPeak is the highest per-dump held
+	// fraction of the budget observed on any rank; UtilizationMean is the
+	// mean of the per-dump time-weighted means over every (rank, dump)
+	// merged in. The elastic autoscaler's shrink signal reads these.
+	UtilizationPeak float64
+	UtilizationMean float64
+
+	utilDumps int64 // dumps folded into the UtilizationMean running mean
 }
 
 // merge folds one dump's stats into the run totals.
@@ -143,6 +151,13 @@ func (r *OverloadReport) merge(o *flowctl.OverloadStats) {
 	}
 	if o.MaxLevel > r.MaxLevel {
 		r.MaxLevel = o.MaxLevel
+	}
+	if o.UtilizationPeak > r.UtilizationPeak {
+		r.UtilizationPeak = o.UtilizationPeak
+	}
+	if o.BudgetBytes > 0 {
+		r.utilDumps++
+		r.UtilizationMean += (o.UtilizationMean - r.UtilizationMean) / float64(r.utilDumps)
 	}
 }
 
@@ -182,25 +197,9 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 		return nil, fmt.Errorf("predata: negative dump count %d", cfg.Dumps)
 	}
 	total := cfg.NumCompute + cfg.NumStaging
-	var inj *faults.Injector
-	if cfg.FaultPlan != nil {
-		var err error
-		inj, err = faults.NewInjector(*cfg.FaultPlan)
-		if err != nil {
-			return nil, err
-		}
-		crashed := map[int]bool{}
-		for _, c := range cfg.FaultPlan.Crashes {
-			if c.Endpoint < cfg.NumCompute || c.Endpoint >= total {
-				return nil, fmt.Errorf(
-					"predata: crash endpoint %d is not a staging endpoint [%d,%d)",
-					c.Endpoint, cfg.NumCompute, total)
-			}
-			crashed[c.Endpoint] = true
-		}
-		if len(crashed) >= cfg.NumStaging {
-			return nil, fmt.Errorf("predata: plan crashes all %d staging ranks", cfg.NumStaging)
-		}
+	inj, err := newPlanInjector(cfg)
+	if err != nil {
+		return nil, err
 	}
 	fcfg := cfg.Fabric
 	if fcfg.LinkBandwidth == 0 {
@@ -322,6 +321,7 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 		stats := make([]*DumpStats, 0, cfg.Dumps)
 		cur := comm
 		prevLive := liveStagingAt(nil, cfg.NumCompute, cfg.NumStaging, 0) // everyone
+		epoch := int64(-1)
 		for dump := 0; dump < cfg.Dumps; dump++ {
 			// Crashes are dump-aligned: when the live set changes, the
 			// current staging members collectively shrink the communicator.
@@ -351,7 +351,10 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 					break
 				}
 				cur = sub
-				server.Reconfigure(cur, time.Since(recStart))
+				epoch++
+				if err := server.Reconfigure(cur, epoch, time.Since(recStart)); err != nil {
+					return fmt.Errorf("staging rank %d reconfigure at dump %d: %w", myIdx, dump, err)
+				}
 				rsp.End(int64(len(nowLive)))
 				prevLive = nowLive
 			}
@@ -372,6 +375,40 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 		}
 		return nil, errors.Join(errors.New("predata: pipeline failed"), err)
 	}
+	finishReports(&cfg, inj, &report, res)
+	return res, nil
+}
+
+// newPlanInjector builds the fault injector from the pipeline's plan,
+// validating that crashes target only staging endpoints and leave at
+// least one staging rank alive. A nil plan yields a nil injector.
+func newPlanInjector(cfg PipelineConfig) (*faults.Injector, error) {
+	if cfg.FaultPlan == nil {
+		return nil, nil
+	}
+	total := cfg.NumCompute + cfg.NumStaging
+	inj, err := faults.NewInjector(*cfg.FaultPlan)
+	if err != nil {
+		return nil, err
+	}
+	crashed := map[int]bool{}
+	for _, c := range cfg.FaultPlan.Crashes {
+		if c.Endpoint < cfg.NumCompute || c.Endpoint >= total {
+			return nil, fmt.Errorf(
+				"predata: crash endpoint %d is not a staging endpoint [%d,%d)",
+				c.Endpoint, cfg.NumCompute, total)
+		}
+		crashed[c.Endpoint] = true
+	}
+	if len(crashed) >= cfg.NumStaging {
+		return nil, fmt.Errorf("predata: plan crashes all %d staging ranks", cfg.NumStaging)
+	}
+	return inj, nil
+}
+
+// finishReports folds injector and flow-control activity accumulated in
+// the per-rank dump stats into the result's summary reports.
+func finishReports(cfg *PipelineConfig, inj *faults.Injector, report *FaultReport, res *PipelineResult) {
 	if inj != nil {
 		ist := inj.Stats()
 		report.InjectedTransients = ist.Transients.Value()
@@ -395,7 +432,7 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 				report.RecoveryWall += st.RecoveryWall
 			}
 		}
-		res.Fault = &report
+		res.Fault = report
 	}
 	if cfg.BufferMB > 0 {
 		ov := &OverloadReport{BudgetBytes: int64(cfg.BufferMB) << 20}
@@ -408,5 +445,4 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 		}
 		res.Overload = ov
 	}
-	return res, nil
 }

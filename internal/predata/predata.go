@@ -110,6 +110,12 @@ type ClientConfig struct {
 	// membership so writes route around crashed staging ranks. Nil means
 	// fault-free routing.
 	Faults *faults.Injector
+	// Membership, when non-nil, supplies the dump-indexed active staging
+	// set (ascending staging indices): Route then picks a position within
+	// that set instead of within the full staging area. Elastic pipelines
+	// install a hook that blocks — deadline-bounded — until the dump's
+	// active count has been announced. Nil keeps static fault-plan routing.
+	Membership func(timestep int64) ([]int, error)
 	// Retry bounds transient-fault retries of the fetch-request send.
 	// Zero fields take DefaultRetryPolicy values.
 	Retry RetryPolicy
@@ -208,15 +214,29 @@ func (c *Client) Write(schema *ffs.Schema, rec ffs.Record, timestep int64) (time
 	}
 	c.cfg.Endpoint.SetEpoch(timestep)
 	h := c.cfg.Endpoint.Expose(buf)
-	idx, rerouted, err := effectiveRoute(c.cfg.Route, c.cfg.Faults,
-		c.cfg.WriterRank, c.cfg.NumCompute, c.cfg.NumStaging, c.cfg.StagingBase, timestep)
-	if err != nil {
-		return 0, err
-	}
-	if rerouted {
-		c.Rerouted++
-		c.cfg.Tracer.Instant(trace.PhaseReroute, c.cfg.Endpoint.ID(),
-			c.cfg.StagingBase+idx, timestep, 0, 0)
+	var idx int
+	if c.cfg.Membership != nil {
+		set, err := c.cfg.Membership(timestep)
+		if err != nil {
+			return 0, fmt.Errorf("predata: resolving dump %d staging membership: %w", timestep, err)
+		}
+		if len(set) == 0 {
+			return 0, fmt.Errorf("predata: empty staging membership at dump %d", timestep)
+		}
+		idx = set[c.cfg.Route(c.cfg.WriterRank, c.cfg.NumCompute, len(set))]
+	} else {
+		var rerouted bool
+		var err error
+		idx, rerouted, err = effectiveRoute(c.cfg.Route, c.cfg.Faults,
+			c.cfg.WriterRank, c.cfg.NumCompute, c.cfg.NumStaging, c.cfg.StagingBase, timestep)
+		if err != nil {
+			return 0, err
+		}
+		if rerouted {
+			c.Rerouted++
+			c.cfg.Tracer.Instant(trace.PhaseReroute, c.cfg.Endpoint.ID(),
+				c.cfg.StagingBase+idx, timestep, 0, 0)
+		}
 	}
 	dst := c.cfg.StagingBase + idx
 	req := FetchRequest{
@@ -296,6 +316,13 @@ type ServerConfig struct {
 	// membership (which staging ranks serve which writers at dump t).
 	// Nil means fault-free membership.
 	Faults *faults.Injector
+	// Membership, when non-nil, supplies the dump-indexed active staging
+	// set: this rank serves the writers that Route maps to its position
+	// within the set, and serves nothing for dumps where it is parked.
+	// It must be the same function the clients route with. With
+	// Membership set, ServeDump always runs under the retry policy's
+	// DumpDeadline — the elastic scaling loop must be deadline-bounded.
+	Membership func(timestep int64) ([]int, error)
 	// Retry bounds transient-fault retries and the per-dump gather
 	// deadline. Zero fields take DefaultRetryPolicy values; the deadline
 	// is enforced only when Faults is non-nil, preserving the fault-free
@@ -361,6 +388,9 @@ type Server struct {
 	// recovery accumulates membership-reconfiguration wall time, reported
 	// on the next served dump.
 	recovery time.Duration
+	// epoch is the membership epoch of the installed communicator; -1
+	// before the first Reconfigure. Epochs only move forward.
+	epoch int64
 }
 
 // NewServer validates the configuration and returns a server.
@@ -391,6 +421,7 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		retry:    cfg.Retry.withDefaults(),
 		pending:  make(map[int64][]FetchRequest),
 		servedBy: make(map[int64][]int),
+		epoch:    -1,
 	}
 	for r := 0; r < cfg.NumCompute; r++ {
 		if cfg.Route(r, cfg.NumCompute, cfg.NumStaging) == cfg.StagingIndex {
@@ -405,13 +436,41 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 func (s *Server) Served() []int { return append([]int(nil), s.served...) }
 
 // servedAt returns the compute ranks this staging index serves at
-// timestep, accounting for crash rerouting. Fault-free it is Served().
-func (s *Server) servedAt(timestep int64) []int {
+// timestep, accounting for crash rerouting (fault-free it is Served())
+// or, under a Membership hook, for the dump's active set: parked ranks
+// serve nothing, actives serve the writers Route maps to their
+// position within the set.
+func (s *Server) servedAt(timestep int64) ([]int, error) {
+	if s.cfg.Membership != nil {
+		if cached, ok := s.servedBy[timestep]; ok {
+			return cached, nil
+		}
+		set, err := s.cfg.Membership(timestep)
+		if err != nil {
+			return nil, fmt.Errorf("predata: resolving dump %d staging membership: %w", timestep, err)
+		}
+		pos := -1
+		for i, idx := range set {
+			if idx == s.cfg.StagingIndex {
+				pos = i
+			}
+		}
+		served := []int{}
+		if pos >= 0 {
+			for r := 0; r < s.cfg.NumCompute; r++ {
+				if s.cfg.Route(r, s.cfg.NumCompute, len(set)) == pos {
+					served = append(served, r)
+				}
+			}
+		}
+		s.servedBy[timestep] = served
+		return served, nil
+	}
 	if s.cfg.Faults == nil || len(s.cfg.Faults.Plan().Crashes) == 0 {
-		return s.served
+		return s.served, nil
 	}
 	if cached, ok := s.servedBy[timestep]; ok {
-		return cached
+		return cached, nil
 	}
 	served := []int{}
 	for r := 0; r < s.cfg.NumCompute; r++ {
@@ -425,17 +484,45 @@ func (s *Server) servedAt(timestep int64) []int {
 		}
 	}
 	s.servedBy[timestep] = served
-	return served
+	return served, nil
 }
 
-// Reconfigure installs the shrunk staging communicator after a
-// membership change (a crashed staging rank left), charging the
-// reconfiguration wall time to the next served dump's stats. The
-// server's StagingIndex identity and routing are unchanged — membership
-// is derived from the shared fault plan, not from the communicator.
-func (s *Server) Reconfigure(comm *mpi.Comm, recovery time.Duration) {
+// Epoch returns the membership epoch of the installed communicator; -1
+// before the first Reconfigure.
+func (s *Server) Epoch() int64 { return s.epoch }
+
+// Reconfigure installs the staging communicator for membership epoch
+// (a crash shrink or an elastic resize), charging the reconfiguration
+// wall time to the next served dump's stats. The server's StagingIndex
+// identity and routing are unchanged — membership is derived from
+// shared state (fault plan, elastic schedule), not from the
+// communicator.
+//
+// Epochs only move forward: a Reconfigure whose epoch precedes the
+// installed one is a stale delivery and is rejected. Redelivering the
+// current epoch with the same communicator (identical id and size) is
+// an idempotent no-op; offering a *different* communicator for the
+// current epoch means two membership derivations diverged, which is
+// also rejected.
+func (s *Server) Reconfigure(comm *mpi.Comm, epoch int64, recovery time.Duration) error {
+	if comm == nil {
+		return fmt.Errorf("predata: Reconfigure(epoch %d): nil communicator", epoch)
+	}
+	if epoch < s.epoch {
+		return fmt.Errorf("predata: Reconfigure epoch moved backwards: epoch %d offered after epoch %d installed — stale membership delivery",
+			epoch, s.epoch)
+	}
+	if epoch == s.epoch {
+		if comm.ID() == s.cfg.Comm.ID() && comm.Size() == s.cfg.Comm.Size() {
+			return nil // idempotent redelivery of the installed epoch
+		}
+		return fmt.Errorf("predata: conflicting Reconfigure for epoch %d: comm id %d (size %d) installed, id %d (size %d) offered — membership derivations diverged",
+			epoch, s.cfg.Comm.ID(), s.cfg.Comm.Size(), comm.ID(), comm.Size())
+	}
 	s.cfg.Comm = comm
+	s.epoch = epoch
 	s.recovery += recovery
+	return nil
 }
 
 // ServeDump processes one I/O dump: gather requests, aggregate partials,
@@ -458,9 +545,12 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	// area is collective, so one wedged gather wedges every rank.
 	start := time.Now()
 	sp := s.cfg.Tracer.Begin(trace.PhaseGather, s.cfg.Endpoint.ID(), -1, timestep, -1)
-	served := s.servedAt(timestep)
+	served, err := s.servedAt(timestep)
+	if err != nil {
+		return nil, nil, err
+	}
 	var deadline time.Time
-	if s.cfg.Faults != nil {
+	if s.cfg.Faults != nil || s.cfg.Membership != nil {
 		deadline = start.Add(s.retry.DumpDeadline)
 	}
 	reqs := s.pending[timestep]
@@ -479,7 +569,11 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 		// preserves per-sender ordering, so a *complete* dump buffered for
 		// another timestep means the requested one will never arrive:
 		// fail fast instead of deadlocking the staging area.
-		if exp := len(s.servedAt(req.Timestep)); exp > 0 && len(s.pending[req.Timestep]) >= exp {
+		other, err := s.servedAt(req.Timestep)
+		if err != nil {
+			return nil, nil, err
+		}
+		if exp := len(other); exp > 0 && len(s.pending[req.Timestep]) >= exp {
 			return nil, nil, fmt.Errorf(
 				"predata: ServeDump(%d) but all %d served ranks sent timestep %d",
 				timestep, exp, req.Timestep)
@@ -660,6 +754,8 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 						pullMu.Lock()
 						stats.Drops++
 						pullMu.Unlock()
+						s.cfg.Tracer.Instant(trace.PhaseDrop, s.cfg.Endpoint.ID(),
+							req.WriterRank, req.Timestep, int64(req.WriterRank), 0)
 						continue
 					}
 					s.recordPullErr(&pullMu, &pullErr,

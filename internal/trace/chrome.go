@@ -34,8 +34,10 @@ func phaseCat(p Phase) string {
 	case PhaseWrite, PhasePull, PhaseRecvCtl, PhaseSendCtl, PhaseFault,
 		PhaseEndpointDown, PhaseRefusal, PhaseRetry, PhaseReroute:
 		return "fabric"
-	case PhaseGather, PhaseAggregate, PhaseRecovery, PhaseCrashExit:
+	case PhaseGather, PhaseAggregate, PhaseRecovery, PhaseCrashExit, PhaseDrop:
 		return "pipeline"
+	case PhaseScale, PhaseScaleEpoch, PhaseHandoff, PhaseDrain:
+		return "elastic"
 	case PhaseInitialize, PhaseMap, PhaseCombine, PhaseShuffle,
 		PhaseReduce, PhaseFinalize, PhaseChunk:
 		return "engine"

@@ -70,6 +70,11 @@ const (
 	PhaseOverload     // flowctl: overload latch transition (Arg = 1 latched, 0 released)
 	PhaseChunk        // engine: chunk retired after Map (Seq = writer, Arg = shed class)
 	PhaseCrashExit    // pipeline: rank leaves the job on an injected crash
+	PhaseDrop         // staging: chunk lost to a crashed writer endpoint (Endpoint = writer, Seq = writer)
+	PhaseScale        // elastic: autoscale decision (Endpoint = direction, Dump = first dump affected, Seq = epoch, Arg = target ranks)
+	PhaseScaleEpoch   // elastic: resize epoch installed (Endpoint = active count, Dump = first dump of epoch, Seq = epoch, Arg = active-index bitmask)
+	PhaseHandoff      // elastic: DataSpaces shard handoff at a resize (Seq = epoch, Arg = cells moved)
+	PhaseDrain        // elastic: span — retiring rank flushes leases/spill before going silent (Seq = epoch, Arg = bytes outstanding at entry)
 )
 
 // phaseNames maps phases to stable lowercase names used by the Chrome
@@ -105,6 +110,11 @@ var phaseNames = [...]string{
 	PhaseOverload:     "overload",
 	PhaseChunk:        "chunk",
 	PhaseCrashExit:    "crash-exit",
+	PhaseDrop:         "drop",
+	PhaseScale:        "scale",
+	PhaseScaleEpoch:   "scale-epoch",
+	PhaseHandoff:      "handoff",
+	PhaseDrain:        "drain",
 }
 
 // String returns the stable lowercase name of the phase.

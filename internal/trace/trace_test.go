@@ -272,6 +272,38 @@ func TestVerifyCleanRecording(t *testing.T) {
 	}
 }
 
+func TestVerifyLeasePeakOversizedChunks(t *testing.T) {
+	// A chunk larger than the whole budget is granted alone when the
+	// accountant is idle, and one serialized overdraft can ride on top of
+	// it: the lease-peak bound must accept largest grant + largest grant,
+	// not capacity + largest grant.
+	oversized := func(peak int64) *Recording {
+		return &Recording{
+			NumCompute: 1, NumStaging: 1, Dumps: 1,
+			Events: []Event{
+				{Kind: KindInstant, Phase: PhaseBudgetCap, Rank: 1, Endpoint: -1, Dump: -1, Arg: 100},
+				// Idle oversized grant: 600 B against a 100 B budget.
+				{Kind: KindInstant, Phase: PhaseLease, Rank: 1, Endpoint: -1, Dump: -1, Seq: 600, Arg: 600, Start: 10, End: 10},
+				// One overdraft on top while the grant is still held.
+				{Kind: KindInstant, Phase: PhaseLease, Rank: 1, Endpoint: -1, Dump: -1, Seq: peak, Arg: 600, Start: 20, End: 20},
+				{Kind: KindInstant, Phase: PhaseLease, Rank: 1, Endpoint: -1, Dump: -1, Seq: peak - 600, Arg: -600, Start: 30, End: 30},
+				{Kind: KindInstant, Phase: PhaseLease, Rank: 1, Endpoint: -1, Dump: -1, Seq: peak - 1200, Arg: -600, Start: 40, End: 40},
+			},
+		}
+	}
+	rep, err := Verify(oversized(1200))
+	if err != nil {
+		t.Fatalf("oversized grant + one overdraft rejected: %v", err)
+	}
+	if rep.LeaseRanks != 1 {
+		t.Fatalf("lease ranks %d, want 1", rep.LeaseRanks)
+	}
+	// Anything beyond two oversized chunks is an accounting leak.
+	if _, err := Verify(oversized(1201)); err == nil {
+		t.Fatal("peak beyond ceiling + one grant verified")
+	}
+}
+
 func TestVerifyRejectsUnusableRecordings(t *testing.T) {
 	if _, err := Verify(nil); err == nil {
 		t.Fatal("nil recording verified")

@@ -17,6 +17,8 @@ type VerifyReport struct {
 	ShuffleEdges     int      // (dump, operator) shuffle→reduce edges checked
 	ReplayChecks     int      // (rank, dump) replay-before-reduce checks
 	LeaseRanks       int      // ranks whose lease peak was bounded
+	ScaleEpochs      int      // resize epochs cross-checked across ranks
+	ChunkChecks      int      // dumps whose chunk conservation was checked
 	Violations       []string // human-readable invariant failures
 }
 
@@ -32,7 +34,20 @@ type VerifyReport struct {
 //  3. Spill-replay-before-Reduce — per (rank, dump), every replayed
 //     chunk is delivered before the first Reduce begins.
 //  4. Lease-peak bound — per rank, the peak of budget-accounted bytes
-//     never exceeds capacity plus one grant (the Overdraft allowance).
+//     never exceeds the admission ceiling plus one grant (the Overdraft
+//     allowance). The admission ceiling is the capacity, except that a
+//     single chunk larger than the whole budget is granted alone when
+//     the accountant is idle — so when the largest observed grant
+//     exceeds the capacity, the ceiling is that grant.
+//  5. Resize-epoch agreement — every rank that recorded a scale epoch
+//     agrees on its first dump and active-member mask, and ranks
+//     outside the mask record no serving activity for dumps governed by
+//     that epoch (retired and parked ranks are silent).
+//  6. Chunk conservation across handoff — on recordings containing
+//     resize epochs, every writer's chunk for every served dump is
+//     processed exactly once somewhere (or explicitly passed through or
+//     accounted as dropped): nothing is lost and nothing double-reduced
+//     when shards and routes move between ranks.
 //
 // It returns an error when the recording is unusable (nil, empty, or
 // lossy — dropped events could hide a violation) or when any
@@ -59,6 +74,8 @@ func Verify(rec *Recording) (*VerifyReport, error) {
 	verifyShuffleEdges(rec, rep)
 	verifyReplayOrder(rec, rep)
 	verifyLeasePeaks(rec, rep)
+	verifyScaleEpochs(rec, rep)
+	verifyChunkConservation(rec, rep)
 	if len(rep.Violations) > 0 {
 		return rep, fmt.Errorf("trace: %d invariant violation(s):\n  %s",
 			len(rep.Violations), strings.Join(rep.Violations, "\n  "))
@@ -284,11 +301,209 @@ func verifyReplayOrder(rec *Recording, rep *VerifyReport) {
 	}
 }
 
+// servingPhase reports whether a phase means the rank actively served
+// dump data — the activity that must cease on ranks outside a resize
+// epoch's membership. Collectives, drains, and scale bookkeeping are
+// deliberately excluded: parked ranks still join membership collectives
+// and a retiring rank drains after its last served dump.
+func servingPhase(p Phase) bool {
+	switch p {
+	case PhaseGather, PhaseAggregate, PhaseInitialize, PhaseMap, PhaseCombine,
+		PhaseShuffle, PhaseReduce, PhaseFinalize, PhaseChunk, PhasePull:
+		return true
+	}
+	return false
+}
+
+// verifyScaleEpochs checks the membership contract of elastic resizes:
+// every rank recording a scale epoch agrees on its first dump and
+// active-member bitmask, the mask's population matches the announced
+// active count, and ranks outside the mask record no serving events for
+// dumps the epoch governs — a retired or parked rank is silent.
+func verifyScaleEpochs(rec *Recording, rep *VerifyReport) {
+	type view struct {
+		dump  int64
+		mask  int64
+		count int64
+	}
+	epochs := map[int64]map[int32]view{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if e.Phase != PhaseScaleEpoch {
+			continue
+		}
+		v := view{dump: e.Dump, mask: e.Arg, count: int64(e.Endpoint)}
+		if epochs[e.Seq] == nil {
+			epochs[e.Seq] = map[int32]view{}
+		}
+		if prev, dup := epochs[e.Seq][e.Rank]; dup {
+			if prev != v {
+				rep.fail("scale epoch %d: rank %d recorded it twice with different views", e.Seq, e.Rank)
+			}
+			continue
+		}
+		epochs[e.Seq][e.Rank] = v
+	}
+	if len(epochs) == 0 {
+		return
+	}
+	seqs := make([]int64, 0, len(epochs))
+	for s := range epochs {
+		seqs = append(seqs, s)
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	type span struct {
+		firstDump int64
+		seq       int64
+		mask      int64
+	}
+	spans := make([]span, 0, len(seqs))
+	var prev span
+	for i, s := range seqs {
+		byRank := epochs[s]
+		rep.ScaleEpochs++
+		ranks := make([]int32, 0, len(byRank))
+		for r := range byRank {
+			ranks = append(ranks, r)
+		}
+		sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+		ref := byRank[ranks[0]]
+		for _, r := range ranks[1:] {
+			if byRank[r] != ref {
+				rep.fail("scale epoch %d: rank %d sees (dump %d, mask %#x, %d active), rank %d sees (dump %d, mask %#x, %d active)",
+					s, r, byRank[r].dump, byRank[r].mask, byRank[r].count,
+					ranks[0], ref.dump, ref.mask, ref.count)
+			}
+		}
+		if got := popcount(ref.mask); got != ref.count {
+			rep.fail("scale epoch %d: active mask %#x holds %d ranks but %d were announced",
+				s, ref.mask, got, ref.count)
+		}
+		cur := span{firstDump: ref.dump, seq: s, mask: ref.mask}
+		if i > 0 && cur.firstDump < prev.firstDump {
+			rep.fail("scale epoch %d starts at dump %d, before epoch %d's dump %d",
+				s, cur.firstDump, prev.seq, prev.firstDump)
+		}
+		spans = append(spans, cur)
+		prev = cur
+	}
+	if len(rep.Violations) > 0 {
+		return // epoch table is inconsistent; silence checks would mislead
+	}
+	// Silence: serving events on staging ranks must fall inside the
+	// governing epoch's mask. Violations deduplicate per (rank, epoch,
+	// phase) so one runaway rank cannot flood the report.
+	flagged := map[[3]int64]bool{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if !servingPhase(e.Phase) || e.Dump < 0 {
+			continue
+		}
+		idx := int(e.Rank) - rec.NumCompute
+		if idx < 0 || idx > 62 {
+			continue
+		}
+		g := sort.Search(len(spans), func(j int) bool { return spans[j].firstDump > e.Dump })
+		if g == 0 {
+			continue // dump precedes the first recorded epoch
+		}
+		sp := spans[g-1]
+		if sp.mask&(1<<idx) != 0 {
+			continue
+		}
+		key := [3]int64{int64(e.Rank), sp.seq, int64(e.Phase)}
+		if flagged[key] {
+			continue
+		}
+		flagged[key] = true
+		rep.fail("scale epoch %d (mask %#x): rank %d is outside the active set but recorded %s at dump %d",
+			sp.seq, sp.mask, e.Rank, e.Phase, e.Dump)
+	}
+}
+
+func popcount(m int64) int64 {
+	var n int64
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+// verifyChunkConservation applies only to recordings that contain
+// resize epochs (other pipelines may filter chunks without tracing the
+// decision). Per served dump, every chunk a writer produced must be
+// accounted exactly once across the whole job: processed by some rank's
+// engine (PhaseChunk), passed through raw (PhasePass), or explicitly
+// dropped against a dead endpoint (PhaseDrop). A writer covered twice
+// by PhaseChunk was double-reduced across a handoff; a writer covered
+// by nothing was lost.
+func verifyChunkConservation(rec *Recording, rep *VerifyReport) {
+	if rec.NumCompute <= 0 {
+		return
+	}
+	hasScale := false
+	for i := range rec.Events {
+		if rec.Events[i].Phase == PhaseScaleEpoch {
+			hasScale = true
+			break
+		}
+	}
+	if !hasScale {
+		return
+	}
+	type dw struct {
+		dump   int64
+		writer int64
+	}
+	processed := map[dw]int{}
+	covered := map[int64]map[int64]bool{}
+	mark := func(dump, writer int64) {
+		if covered[dump] == nil {
+			covered[dump] = map[int64]bool{}
+		}
+		covered[dump][writer] = true
+	}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if e.Dump < 0 {
+			continue
+		}
+		switch e.Phase {
+		case PhaseChunk:
+			processed[dw{e.Dump, e.Seq}]++
+			mark(e.Dump, e.Seq)
+		case PhasePass, PhaseDrop:
+			mark(e.Dump, int64(e.Endpoint))
+		}
+	}
+	dumps := make([]int64, 0, len(covered))
+	for d := range covered {
+		dumps = append(dumps, d)
+	}
+	sort.Slice(dumps, func(i, j int) bool { return dumps[i] < dumps[j] })
+	for _, d := range dumps {
+		rep.ChunkChecks++
+		for w := int64(0); w < int64(rec.NumCompute); w++ {
+			if n := processed[dw{d, w}]; n > 1 {
+				rep.fail("dump %d: writer %d's chunk processed %d times — double-reduced across handoff", d, w, n)
+			}
+			if !covered[d][w] {
+				rep.fail("dump %d: writer %d's chunk neither processed, passed, nor dropped — lost across handoff", d, w)
+			}
+		}
+	}
+}
+
 // verifyLeasePeaks checks the budget accountant's bound per rank: the
 // highest used-after value any lease movement observed must stay
-// within capacity plus the largest single grant (the one-chunk
-// Overdraft allowance). The used-after value is recorded inside the
-// budget's own critical section, so this needs no clock reasoning.
+// within the admission ceiling plus the largest single grant (the
+// one-chunk Overdraft allowance, serialized on the spill slot). The
+// ceiling is the capacity unless a single grant exceeds it — the
+// idle-accountant escape admits one oversized chunk alone, so with
+// such chunks the bound is largest grant + largest grant. The
+// used-after value is recorded inside the budget's own critical
+// section, so this needs no clock reasoning.
 func verifyLeasePeaks(rec *Recording, rep *VerifyReport) {
 	caps := map[int32]int64{}
 	peaks := map[int32]int64{}
@@ -316,9 +531,13 @@ func verifyLeasePeaks(rec *Recording, rep *VerifyReport) {
 	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
 	for _, r := range ranks {
 		rep.LeaseRanks++
-		if limit := caps[r] + grants[r]; peaks[r] > limit {
-			rep.fail("rank %d: lease peak %d B exceeds budget %d B + largest grant %d B",
-				r, peaks[r], caps[r], grants[r])
+		ceiling := caps[r]
+		if grants[r] > ceiling {
+			ceiling = grants[r]
+		}
+		if limit := ceiling + grants[r]; peaks[r] > limit {
+			rep.fail("rank %d: lease peak %d B exceeds admission ceiling %d B + largest grant %d B (budget %d B)",
+				r, peaks[r], ceiling, grants[r], caps[r])
 		}
 	}
 }
