@@ -1,7 +1,7 @@
 GO ?= go
 VET_BIN := bin/predata-vet
 
-.PHONY: all build test race fmt vet bench-smoke trace-test elastic-soak evaluation clean
+.PHONY: all build test race fmt vet vet-fixtures bench-smoke trace-test elastic-soak evaluation clean
 
 all: build vet test
 
@@ -17,12 +17,20 @@ race:
 fmt:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
-# vet runs the standard toolchain vet plus the project suite. The
-# predata-vet binary is built once into bin/ so repeated runs (and the
-# CI cache) skip recompilation; see cmd/predata-vet and DESIGN.md §7.
-vet: $(VET_BIN)
+# vet runs the analyzer fixture suite, the standard toolchain vet, and
+# the project suite over the tree. The predata-vet binary is built once
+# into bin/ so repeated runs (and the CI cache) skip recompilation; the
+# fixture tests ride the same go test cache, so an unchanged analyzer
+# costs nothing. See cmd/predata-vet and DESIGN.md §7 and §12.
+vet: $(VET_BIN) vet-fixtures
 	$(GO) vet ./...
 	$(VET_BIN) ./...
+
+# vet-fixtures runs the analyzers' // want fixture tests (analysistest
+# harness, testdata/src/... corpora) without vetting the tree — the
+# fast loop when developing an analyzer.
+vet-fixtures:
+	$(GO) test ./internal/analysis/...
 
 $(VET_BIN): $(shell find cmd/predata-vet internal/analysis -name '*.go' -not -path '*/testdata/*')
 	$(GO) build -o $(VET_BIN) ./cmd/predata-vet

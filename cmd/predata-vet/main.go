@@ -3,15 +3,19 @@
 //
 //	predata-vet ./...
 //	predata-vet -json ./internal/staging ./internal/predata
-//	predata-vet -fix ./...          # apply mechanical suggested fixes
-//	predata-vet -run typederr ./... # one analyzer only
+//	predata-vet -fix ./...            # apply mechanical suggested fixes
+//	predata-vet -run typederr ./...   # one analyzer only
+//	predata-vet -report-waivers ./... # audit vet-ignore directives
 //
-// Analyzers (see DESIGN.md §7 for the invariant behind each):
+// Analyzers (see DESIGN.md §7 and §12 for the invariant behind each):
 //
+//	chunkrelease     staging chunks must fire their Release hook exactly once
 //	collectivecheck  collectives under rank-dependent control flow
 //	ctxdeadline      unbounded retry/backoff loops
 //	goroutineleak    goroutines without a join mechanism
+//	leaserelease     flowctl budget leases must be released on every path
 //	lockhold         blocking operations while a mutex is held
+//	spanend          trace spans must reach End on every path
 //	typederr         ==/!= against sentinel errors instead of errors.Is
 //
 // A finding is suppressed by a comment on the offending line or the
@@ -19,8 +23,13 @@
 //
 //	//predata:vet-ignore <analyzer> <reason>
 //
-// The reason is mandatory; a bare directive is itself reported. Exit
-// status: 0 clean, 1 findings, 2 usage or load failure.
+// The reason is mandatory; a bare directive is itself reported.
+// -report-waivers lists every directive for the analyzers in the run
+// with the number of findings it suppressed and exits 1 if any waiver
+// suppresses nothing (stale: the excused code no longer trips the
+// analyzer, so the directive only masks future regressions). Exit
+// status: 0 clean, 1 findings (or stale waivers), 2 usage or load
+// failure.
 package main
 
 import (
@@ -43,8 +52,10 @@ func run(args []string) int {
 	fix := fs.Bool("fix", false, "apply mechanical suggested fixes in place")
 	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	reportWaivers := fs.Bool("report-waivers", false,
+		"audit vet-ignore directives; exit 1 if any suppresses nothing")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: predata-vet [-json] [-fix] [-run names] [packages]\n")
+		fmt.Fprintf(os.Stderr, "usage: predata-vet [-json] [-fix] [-run names] [-report-waivers] [packages]\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -81,10 +92,30 @@ func run(args []string) int {
 		fmt.Fprintf(os.Stderr, "predata-vet: %v\n", err)
 		return 2
 	}
-	findings, err := analysis.RunAnalyzers(pkgs, analyzers)
+	findings, waivers, err := analysis.RunAnalyzersWithWaivers(pkgs, analyzers)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "predata-vet: %v\n", err)
 		return 2
+	}
+
+	if *reportWaivers {
+		if *jsonOut {
+			if err := analysis.WriteWaiversJSON(os.Stdout, waivers); err != nil {
+				fmt.Fprintf(os.Stderr, "predata-vet: %v\n", err)
+				return 2
+			}
+			for _, w := range waivers {
+				if w.Suppressed == 0 {
+					return 1
+				}
+			}
+			return 0
+		}
+		if stale := analysis.WriteWaivers(os.Stdout, waivers); stale > 0 {
+			fmt.Fprintf(os.Stderr, "predata-vet: %d stale waiver(s): remove the directive or re-justify it\n", stale)
+			return 1
+		}
+		return 0
 	}
 
 	if *fix {

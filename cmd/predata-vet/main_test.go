@@ -25,3 +25,15 @@ func TestRepoIsVetClean(t *testing.T) {
 		t.Fatalf("predata-vet predata/... exit = %d, want 0 (see findings above)", got)
 	}
 }
+
+// TestRepoWaiversAreLive audits every vet-ignore directive in the tree:
+// each must still suppress at least one finding, or it is stale and the
+// run exits 1.
+func TestRepoWaiversAreLive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	if got := run([]string{"-report-waivers", "predata/..."}); got != 0 {
+		t.Fatalf("predata-vet -report-waivers exit = %d, want 0 (a waiver is stale)", got)
+	}
+}

@@ -1,0 +1,292 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+// buildFunc parses src as a file, finds function name, and builds its
+// CFG (without type information — shape tests only need syntax).
+func buildFunc(t *testing.T, src, name string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return New(fd.Body, nil)
+		}
+	}
+	t.Fatalf("func %s not found", name)
+	return nil
+}
+
+// exitReachable reports whether Exit is reachable from Entry.
+func exitReachable(g *Graph) bool {
+	for _, blk := range g.Reachable() {
+		if blk == g.Exit {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStraightLine(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() { x := 1; _ = x }`, "f")
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	if len(g.Entry.Nodes) != 2 {
+		t.Fatalf("entry nodes = %d, want 2:\n%s", len(g.Entry.Nodes), g)
+	}
+}
+
+func TestIfElseBranches(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) int {
+	if c {
+		return 1
+	}
+	return 2
+}`, "f")
+	// The condition block must carry Cond and exactly two successors,
+	// true edge first.
+	var cond *Block
+	for _, blk := range g.Reachable() {
+		if blk.Cond != nil {
+			cond = blk
+		}
+	}
+	if cond == nil {
+		t.Fatalf("no condition block:\n%s", g)
+	}
+	if len(cond.Succs) != 2 {
+		t.Fatalf("cond successors = %d, want 2:\n%s", len(cond.Succs), g)
+	}
+}
+
+func TestForLoopBackEdge(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(n int) {
+	for i := 0; i < n; i++ {
+		_ = i
+	}
+}`, "f")
+	// Some reachable block must have a back edge (successor with a
+	// smaller-or-equal index that is also its ancestor). Weaker check:
+	// the head has two successors (body, done).
+	var head *Block
+	for _, blk := range g.Reachable() {
+		if blk.Cond != nil && len(blk.Succs) == 2 {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatalf("no loop head with cond:\n%s", g)
+	}
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestRangeBreakContinue(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(xs []int) {
+	for _, x := range xs {
+		if x < 0 {
+			continue
+		}
+		if x > 10 {
+			break
+		}
+		_ = x
+	}
+}`, "f")
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(m [][]int) {
+outer:
+	for _, row := range m {
+		for _, v := range row {
+			if v == 0 {
+				break outer
+			}
+			if v == 1 {
+				continue outer
+			}
+		}
+	}
+}`, "f")
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestSwitchFallthroughAndDefault(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) int {
+	switch x {
+	case 0:
+		fallthrough
+	case 1:
+		return 1
+	default:
+		return 2
+	}
+}`, "f")
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+	// With a default every head successor is a clause; the implicit
+	// no-match edge must be absent. Count the head's successors: the
+	// block holding the tag has 3 (three clauses), not 4.
+	var head *Block
+	for _, blk := range g.Reachable() {
+		if len(blk.Succs) == 3 {
+			head = blk
+		}
+	}
+	if head == nil {
+		t.Fatalf("switch head with 3 clause edges not found:\n%s", g)
+	}
+}
+
+func TestSwitchWithoutDefaultHasNoMatchEdge(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(x int) {
+	switch x {
+	case 0:
+		_ = x
+	}
+}`, "f")
+	// One clause + the implicit no-match edge = 2 successors.
+	found := false
+	for _, blk := range g.Reachable() {
+		if len(blk.Succs) == 2 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no-match edge missing:\n%s", g)
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(a, b chan int) int {
+	select {
+	case x := <-a:
+		return x
+	case <-b:
+		return 0
+	}
+}`, "f")
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestEmptySelectAborts(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() { select {} }`, "f")
+	abortSeen := false
+	for _, blk := range g.Reachable() {
+		if blk == g.Abort {
+			abortSeen = true
+		}
+	}
+	if !abortSeen {
+		t.Fatalf("select{} does not reach Abort:\n%s", g)
+	}
+}
+
+func TestPanicGoesToAbort(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+	if c {
+		panic("boom")
+	}
+}`, "f")
+	abortSeen := false
+	for _, blk := range g.Reachable() {
+		for _, s := range blk.Succs {
+			if s == g.Abort {
+				abortSeen = true
+			}
+		}
+	}
+	if !abortSeen {
+		t.Fatalf("panic edge to Abort missing:\n%s", g)
+	}
+	if !exitReachable(g) {
+		t.Fatalf("normal path lost:\n%s", g)
+	}
+}
+
+func TestGotoForwardAndBackward(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(c bool) {
+retry:
+	if c {
+		goto out
+	}
+	goto retry
+out:
+	_ = c
+}`, "f")
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(v any) int {
+	switch x := v.(type) {
+	case int:
+		return x
+	case string:
+		return len(x)
+	}
+	return 0
+}`, "f")
+	if !exitReachable(g) {
+		t.Fatalf("exit unreachable:\n%s", g)
+	}
+}
+
+func TestDeferAndGoAreRecorded(t *testing.T) {
+	g := buildFunc(t, `package p
+func f(fn func()) {
+	defer fn()
+	go fn()
+}`, "f")
+	n := 0
+	for _, blk := range g.Reachable() {
+		n += len(blk.Nodes)
+	}
+	if n != 2 {
+		t.Fatalf("recorded nodes = %d, want 2 (defer, go):\n%s", n, g)
+	}
+}
+
+func TestInfiniteLoopNoExit(t *testing.T) {
+	g := buildFunc(t, `package p
+func f() {
+	for {
+	}
+}`, "f")
+	if exitReachable(g) {
+		t.Fatalf("for{} must not reach exit:\n%s", g)
+	}
+}

@@ -1,0 +1,12 @@
+package chunkrelease_test
+
+import (
+	"testing"
+
+	"predata/internal/analysis/analysistest"
+	"predata/internal/analysis/chunkrelease"
+)
+
+func TestChunkRelease(t *testing.T) {
+	analysistest.Run(t, chunkrelease.Analyzer, "testdata/src/a")
+}

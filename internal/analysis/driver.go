@@ -48,6 +48,21 @@ type directive struct {
 	line      int
 	pos       token.Pos
 	malformed bool
+	// suppressed counts the findings this directive silenced in a run.
+	suppressed int
+}
+
+// Waiver is one active //predata:vet-ignore directive observed during a
+// run, with the number of findings it suppressed. A waiver whose
+// Suppressed count is zero is stale: the code it excused no longer
+// trips the analyzer, and the directive would silently mask a future
+// regression.
+type Waiver struct {
+	Analyzer   string `json:"analyzer"`
+	Reason     string `json:"reason"`
+	Path       string `json:"path"`
+	Line       int    `json:"line"`
+	Suppressed int    `json:"suppressed"`
 }
 
 // collectDirectives scans a file's comments for vet-ignore directives.
@@ -74,7 +89,21 @@ func collectDirectives(fset *token.FileSet, f *ast.File) []directive {
 // RunAnalyzers applies every analyzer to every package and returns the
 // findings, sorted by position, with suppression directives applied.
 func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	findings, _, err := RunAnalyzersWithWaivers(pkgs, analyzers)
+	return findings, err
+}
+
+// RunAnalyzersWithWaivers is RunAnalyzers plus the run's waiver audit:
+// every well-formed directive naming an analyzer in this run (or "all"),
+// with how many findings it suppressed. Directives for analyzers not in
+// the run are omitted — a partial -run invocation cannot judge them.
+func RunAnalyzersWithWaivers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, []Waiver, error) {
+	running := map[string]bool{}
+	for _, a := range analyzers {
+		running[a.Name] = true
+	}
 	var findings []Finding
+	var waivers []Waiver
 	for _, pkg := range pkgs {
 		// Directive index: file path -> line -> directives on that line.
 		type lineKey struct {
@@ -82,11 +111,15 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 			line int
 		}
 		dirs := map[lineKey][]*directive{}
+		var pkgDirs []*directive
 		for _, f := range pkg.Files {
 			for _, d := range collectDirectives(pkg.Fset, f) {
 				d := d
 				p := pkg.Fset.Position(d.pos)
 				dirs[lineKey{p.Filename, d.line}] = append(dirs[lineKey{p.Filename, d.line}], &d)
+				if !d.malformed && (running[d.analyzer] || d.analyzer == "all") {
+					pkgDirs = append(pkgDirs, &d)
+				}
 				if d.malformed {
 					findings = append(findings, Finding{
 						Analyzer: "vet-ignore",
@@ -107,6 +140,7 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 						continue
 					}
 					if d.analyzer == name || d.analyzer == "all" {
+						d.suppressed++
 						return d.reason, true
 					}
 				}
@@ -139,10 +173,30 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 				findings = append(findings, f)
 			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %w", a.Name, pkg.ImportPath, err)
 			}
 		}
+		for _, d := range pkgDirs {
+			p := pkg.Fset.Position(d.pos)
+			waivers = append(waivers, Waiver{
+				Analyzer:   d.analyzer,
+				Reason:     d.reason,
+				Path:       p.Filename,
+				Line:       d.line,
+				Suppressed: d.suppressed,
+			})
+		}
 	}
+	sort.Slice(waivers, func(i, j int) bool {
+		a, b := waivers[i], waivers[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Path != b.Path {
@@ -156,7 +210,32 @@ func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return findings, nil
+	return findings, waivers, nil
+}
+
+// WriteWaiversJSON renders the waiver audit as a JSON array.
+func WriteWaiversJSON(w io.Writer, waivers []Waiver) error {
+	if waivers == nil {
+		waivers = []Waiver{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(waivers)
+}
+
+// WriteWaivers renders the waiver audit, flagging stale entries. It
+// returns the number of stale waivers.
+func WriteWaivers(w io.Writer, waivers []Waiver) int {
+	stale := 0
+	for _, wv := range waivers {
+		status := fmt.Sprintf("suppressing %d finding(s)", wv.Suppressed)
+		if wv.Suppressed == 0 {
+			status = "STALE: suppresses nothing"
+			stale++
+		}
+		fmt.Fprintf(w, "%s:%d: [%s] %s — %s\n", wv.Path, wv.Line, wv.Analyzer, status, wv.Reason)
+	}
+	return stale
 }
 
 // WriteText renders findings in the familiar file:line:col form,
@@ -183,6 +262,17 @@ func WriteJSON(w io.Writer, findings []Finding) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(findings)
+}
+
+// ApplyDiagnosticFixes applies the suggested fixes of raw diagnostics
+// resolved against fset — the harness entry point for testing a fix
+// round-trip without a driver run.
+func ApplyDiagnosticFixes(fset *token.FileSet, diags []Diagnostic) (int, error) {
+	findings := make([]Finding, len(diags))
+	for i, d := range diags {
+		findings[i] = Finding{diag: d, fset: fset}
+	}
+	return ApplyFixes(findings)
 }
 
 // ApplyFixes applies every suggested fix attached to unsuppressed
@@ -212,7 +302,24 @@ func ApplyFixes(findings []Finding) (int, error) {
 	}
 	rewritten := 0
 	for path, edits := range perFile {
-		sort.Slice(edits, func(i, j int) bool { return edits[i].start < edits[j].start })
+		sort.Slice(edits, func(i, j int) bool {
+			if edits[i].start != edits[j].start {
+				return edits[i].start < edits[j].start
+			}
+			if edits[i].end != edits[j].end {
+				return edits[i].end < edits[j].end
+			}
+			return edits[i].text < edits[j].text
+		})
+		// Identical edits collapse to one: several findings in a file may
+		// each carry the same companion edit (typederr's import insert).
+		uniq := edits[:0]
+		for i, e := range edits {
+			if i == 0 || e != edits[i-1] {
+				uniq = append(uniq, e)
+			}
+		}
+		edits = uniq
 		for i := 1; i < len(edits); i++ {
 			if edits[i].start < edits[i-1].end {
 				return rewritten, fmt.Errorf("analysis: overlapping fixes in %s", path)

@@ -128,6 +128,67 @@ func f6() {}
 	}
 }
 
+func TestWaiverAudit(t *testing.T) {
+	pkg := checkSource(t, `package p
+
+//predata:vet-ignore fake covers a live finding
+func f1() {}
+
+//predata:vet-ignore fake stale: nothing on this line trips the analyzer
+var x = 1
+
+//predata:vet-ignore all blanket waiver, also live
+func f2() {}
+
+//predata:vet-ignore otherpass not in this run
+func f3() {}
+
+//predata:vet-ignore fake
+func f4() {}
+`)
+	_, waivers, err := RunAnalyzersWithWaivers([]*Package{pkg}, []*Analyzer{funcReporter})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// otherpass is not in the run and the reasonless directive is
+	// malformed: neither appears in the audit.
+	if len(waivers) != 3 {
+		t.Fatalf("waivers = %+v, want 3 entries", waivers)
+	}
+	counts := map[string]int{}
+	for _, w := range waivers {
+		counts[w.Reason] = w.Suppressed
+		if w.Path == "" || w.Line == 0 {
+			t.Errorf("waiver missing position: %+v", w)
+		}
+	}
+	if counts["covers a live finding"] != 1 {
+		t.Errorf("live fake waiver suppressed = %d, want 1", counts["covers a live finding"])
+	}
+	if counts["stale: nothing on this line trips the analyzer"] != 0 {
+		t.Errorf("stale waiver suppressed = %d, want 0", counts["stale: nothing on this line trips the analyzer"])
+	}
+	if counts["blanket waiver, also live"] != 1 {
+		t.Errorf("all-waiver suppressed = %d, want 1", counts["blanket waiver, also live"])
+	}
+
+	var buf bytes.Buffer
+	if stale := WriteWaivers(&buf, waivers); stale != 1 {
+		t.Errorf("WriteWaivers stale = %d, want 1\n%s", stale, buf.String())
+	}
+	if !strings.Contains(buf.String(), "STALE") {
+		t.Errorf("stale waiver not flagged:\n%s", buf.String())
+	}
+
+	var js bytes.Buffer
+	if err := WriteWaiversJSON(&js, waivers); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(js.String(), `"suppressed": 0`) {
+		t.Errorf("JSON waiver audit missing zero count:\n%s", js.String())
+	}
+}
+
 func TestFindingsSorted(t *testing.T) {
 	pkg := checkSource(t, `package p
 

@@ -1,0 +1,85 @@
+// Package leaserelease proves that every flowctl budget lease reaches a
+// release on every path.
+//
+// The byte-budget accountant (internal/flowctl) hands out Leases from
+// Budget.Acquire, Budget.TryAcquire and Budget.Overdraft. A lease whose
+// Release is skipped on even one path permanently subtracts its bytes
+// from the budget: admission throttles earlier and earlier, and once the
+// leaked bytes cross the high watermark the overload latch wedges open —
+// the staging area degrades to spill/shed forever. The compiler cannot
+// see any of this; the CFG + dataflow engine (internal/analysis/cfg,
+// internal/analysis/dataflow) can.
+//
+// A path releases a lease by calling Release (directly or deferred),
+// or by handing it off: returning it, sending it on a channel, storing
+// it in a structure, passing it (or its Release method value) to a
+// call, or capturing it in a closure. The error/ok results paired with
+// an acquire kill the obligation on the failure edge — Acquire returns
+// a nil lease alongside a non-nil error — as does a nil test of the
+// lease itself. Release is idempotent, so double releases are not
+// flagged. Test files are exempt (tests leak leases deliberately to
+// probe throttling).
+package leaserelease
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"predata/internal/analysis"
+	"predata/internal/analysis/dataflow"
+)
+
+// Analyzer is the leaserelease pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "leaserelease",
+	Doc: "flags flowctl budget leases (Acquire/TryAcquire/Overdraft) not " +
+		"released or handed off on every path",
+	Run: run,
+}
+
+const flowctlPath = analysis.ModulePath + "/internal/flowctl"
+
+var spec = &dataflow.Spec{
+	Resource: "lease",
+	Acquire: func(info *types.Info, e ast.Expr) (int, string, bool) {
+		call, ok := e.(*ast.CallExpr)
+		if !ok {
+			return 0, "", false
+		}
+		fn := analysis.CalleeFunc(info, call)
+		for _, name := range []string{"Acquire", "TryAcquire", "Overdraft"} {
+			if analysis.MethodIs(fn, flowctlPath, "Budget", name) {
+				return 0, "Budget." + name, true
+			}
+		}
+		return 0, "", false
+	},
+	Release: func(info *types.Info, call *ast.CallExpr) bool {
+		return analysis.MethodIs(analysis.CalleeFunc(info, call), flowctlPath, "Lease", "Release")
+	},
+	Benign: func(info *types.Info, call *ast.CallExpr) bool {
+		return analysis.MethodIs(analysis.CalleeFunc(info, call), flowctlPath, "Lease", "Bytes")
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range dataflow.Check(pass, spec) {
+		var msg string
+		switch f.Kind {
+		case dataflow.Leak:
+			msg = fmt.Sprintf("lease from %s is not released on every path; "+
+				"leaked bytes wedge the budget's overload latch", f.Desc)
+		case dataflow.LeakReassign:
+			msg = fmt.Sprintf("lease from %s is overwritten while still held; "+
+				"release it before rebinding", f.Desc)
+		case dataflow.Discard:
+			msg = fmt.Sprintf("result of %s is discarded; the lease's bytes "+
+				"can never be released", f.Desc)
+		default:
+			continue // Release is idempotent: double releases are fine
+		}
+		pass.Reportf(f.Pos, "%s", msg)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package leaserelease_test
+
+import (
+	"testing"
+
+	"predata/internal/analysis/analysistest"
+	"predata/internal/analysis/leaserelease"
+)
+
+func TestLeaseRelease(t *testing.T) {
+	analysistest.Run(t, leaserelease.Analyzer, "testdata/src/a")
+}

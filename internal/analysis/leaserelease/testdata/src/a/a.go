@@ -1,0 +1,147 @@
+// Fixture for the leaserelease analyzer: flowctl budget leases must be
+// released or handed off on every path.
+package a
+
+import (
+	"context"
+
+	"predata/internal/flowctl"
+)
+
+// ---- positive cases ----
+
+// LeakOnBranch releases on the fallthrough path but not when c is set.
+func LeakOnBranch(ctx context.Context, b *flowctl.Budget, c bool) error {
+	l, err := b.Acquire(ctx, 64) // want `lease from Budget.Acquire is not released on every path`
+	if err != nil {
+		return err
+	}
+	if c {
+		return nil
+	}
+	l.Release()
+	return nil
+}
+
+// LeakAfterBenignUse only reads Bytes, which does not discharge the lease.
+func LeakAfterBenignUse(b *flowctl.Budget) int64 {
+	l, ok := b.TryAcquire(32) // want `lease from Budget.TryAcquire is not released on every path`
+	if !ok {
+		return 0
+	}
+	return l.Bytes()
+}
+
+// Discarded drops the lease on the floor.
+func Discarded(b *flowctl.Budget) {
+	b.Overdraft(8) // want `result of Budget.Overdraft is discarded`
+}
+
+// Rebind overwrites a live lease with a fresh one.
+func Rebind(ctx context.Context, b *flowctl.Budget) {
+	l, err := b.Acquire(ctx, 8)
+	if err != nil {
+		return
+	}
+	l, err = b.Acquire(ctx, 8) // want `lease from Budget.Acquire is overwritten while still held`
+	if err != nil {
+		return
+	}
+	l.Release()
+}
+
+// SelectLeak releases in one arm but not the default arm.
+func SelectLeak(b *flowctl.Budget, ch chan int) {
+	l := b.Overdraft(4) // want `lease from Budget.Overdraft is not released on every path`
+	select {
+	case <-ch:
+		l.Release()
+	default:
+	}
+}
+
+// ---- negative cases ----
+
+// CleanDefer is the canonical shape: acquire, check, defer release.
+func CleanDefer(ctx context.Context, b *flowctl.Budget) error {
+	l, err := b.Acquire(ctx, 64)
+	if err != nil {
+		return err
+	}
+	defer l.Release()
+	return nil
+}
+
+// CleanBothArms releases explicitly on every path.
+func CleanBothArms(b *flowctl.Budget, c bool) {
+	l, ok := b.TryAcquire(16)
+	if !ok {
+		return
+	}
+	if c {
+		l.Release()
+		return
+	}
+	l.Release()
+}
+
+// HandoffReturn transfers the obligation to the caller.
+func HandoffReturn(b *flowctl.Budget) *flowctl.Lease {
+	l, ok := b.TryAcquire(16)
+	if !ok {
+		return nil
+	}
+	return l
+}
+
+// HandoffSend transfers the obligation across a channel.
+func HandoffSend(b *flowctl.Budget, ch chan *flowctl.Lease) {
+	l := b.Overdraft(4)
+	ch <- l
+}
+
+// NilGuard proves there is nothing to release on the nil edge.
+func NilGuard(b *flowctl.Budget) {
+	l := b.Overdraft(4)
+	if l == nil {
+		return
+	}
+	l.Release()
+}
+
+// DeferClosure releases through a deferred closure.
+func DeferClosure(ctx context.Context, b *flowctl.Budget, work func() error) error {
+	l, err := b.Acquire(ctx, 64)
+	if err != nil {
+		return err
+	}
+	defer func() { l.Release() }()
+	return work()
+}
+
+// LoopAcquire re-acquires each iteration and releases before the back
+// edge (or skips iterations that failed admission).
+func LoopAcquire(b *flowctl.Budget, n int) {
+	for i := 0; i < n; i++ {
+		l, ok := b.TryAcquire(8)
+		if !ok {
+			continue
+		}
+		l.Release()
+	}
+}
+
+// PanicPath leaks only on a path that kills the process: exempt.
+func PanicPath(b *flowctl.Budget, c bool) {
+	l := b.Overdraft(4)
+	if c {
+		panic("boom")
+	}
+	l.Release()
+}
+
+// HandoffCallback passes the release method itself to a consumer.
+func HandoffCallback(b *flowctl.Budget, deliver func(done func())) {
+	l := b.Overdraft(4)
+	deliver(l.Release)
+}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"os"
 	"path/filepath"
 	"testing"
 )
@@ -44,5 +45,88 @@ func TestLoadRejectsUnknownPattern(t *testing.T) {
 	}
 	if _, err := Load(root, "./does/not/exist"); err == nil {
 		t.Fatal("Load of a nonexistent pattern succeeded")
+	}
+}
+
+// writeModule lays out a throwaway module under a temp dir: files maps
+// module-relative paths to contents, and a go.mod is added for the
+// given module path.
+func writeModule(t *testing.T, modpath string, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	files["go.mod"] = "module " + modpath + "\n\ngo 1.22\n"
+	for rel, src := range files {
+		abs := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(abs), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(abs, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// TestLoadHonorsBuildConstraints checks that files excluded by a build
+// tag never reach the type-checker. The excluded file deliberately
+// fails to compile, so if the loader were to parse GoFiles it did not
+// get from `go list` (or list without constraint evaluation), Load
+// would error rather than silently include it.
+func TestLoadHonorsBuildConstraints(t *testing.T) {
+	dir := writeModule(t, "tmpmod", map[string]string{
+		"pkg/keep.go": "package pkg\n\n// Kept is present in every build.\nfunc Kept() int { return 1 }\n",
+		"pkg/skip.go": "//go:build predata_never\n\npackage pkg\n\nfunc Skipped() { undefinedSymbol() }\n",
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1: %+v", len(pkgs), pkgs)
+	}
+	unit := pkgs[0]
+	if unit.ImportPath != "tmpmod/pkg" {
+		t.Fatalf("ImportPath = %q, want tmpmod/pkg", unit.ImportPath)
+	}
+	if len(unit.Files) != 1 {
+		t.Fatalf("unit has %d files, want 1 (tag-excluded file leaked in)", len(unit.Files))
+	}
+	if unit.Types.Scope().Lookup("Kept") == nil {
+		t.Fatal("Kept not type-checked")
+	}
+	if unit.Types.Scope().Lookup("Skipped") != nil {
+		t.Fatal("Skipped was type-checked despite its build constraint")
+	}
+}
+
+// TestLoadSkipsNestedModules mirrors how the go tool treats a nested
+// go.mod: the inner module is invisible to the outer ./... walk, but
+// loads on its own terms when Load is pointed at its directory.
+func TestLoadSkipsNestedModules(t *testing.T) {
+	dir := writeModule(t, "tmpmod", map[string]string{
+		"outer.go":         "package outer\n\nfunc Outer() {}\n",
+		"vendorish/go.mod": "module nestedmod\n\ngo 1.22\n",
+		"vendorish/n.go":   "package vendorish\n\nfunc Nested() {}\n",
+	})
+	pkgs, err := Load(dir, "./...")
+	if err != nil {
+		t.Fatalf("Load(outer): %v", err)
+	}
+	if len(pkgs) != 1 || pkgs[0].ImportPath != "tmpmod" {
+		t.Fatalf("outer walk loaded %+v, want only tmpmod", pkgs)
+	}
+	if pkgs[0].Types.Scope().Lookup("Nested") != nil {
+		t.Fatal("nested module's code leaked into the outer unit")
+	}
+
+	nested, err := Load(filepath.Join(dir, "vendorish"), "./...")
+	if err != nil {
+		t.Fatalf("Load(nested): %v", err)
+	}
+	if len(nested) != 1 || nested[0].ImportPath != "nestedmod" {
+		t.Fatalf("nested load got %+v, want only nestedmod", nested)
+	}
+	if nested[0].Types.Scope().Lookup("Nested") == nil {
+		t.Fatal("Nested not type-checked in its own module")
 	}
 }

@@ -1,0 +1,94 @@
+// Package spanend proves that every flight-recorder span opened with
+// Recorder.Begin reaches Span.End on every path.
+//
+// The tracer (internal/trace) is lock-free and loss-tolerant, but a
+// span that is Begun and never Ended is worse than a dropped one: the
+// conformance checker (trace.Verify) sees an open interval and the
+// per-stage latency histograms silently omit the slowest — usually the
+// erroring — executions. Early error returns are exactly where spans
+// historically leak, and exactly the paths whose latency matters most
+// for diagnosing overload.
+//
+// Spans are values, so the engine tracks them through the fluent
+// chain: sp.WithDump(d).WithEndpoint(ep).End(n) is one obligation, and
+// rebinding sp = sp.WithDump(d) carries it forward. Handing the span
+// off (return, store, call argument, closure capture) ends the
+// obligation. End on the zero Span is a no-op by contract, so calling
+// End unconditionally on a maybe-zero span is both safe and the
+// recommended fix for conditionally-opened spans. Test files are
+// exempt.
+package spanend
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"predata/internal/analysis"
+	"predata/internal/analysis/dataflow"
+)
+
+// Analyzer is the spanend pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "flags trace spans (Recorder.Begin) that do not reach Span.End on " +
+		"every path, including early error returns",
+	Run: run,
+}
+
+const tracePath = analysis.ModulePath + "/internal/trace"
+
+var spec = &dataflow.Spec{
+	Resource: "span",
+	Acquire: func(info *types.Info, e ast.Expr) (int, string, bool) {
+		// r.Begin(...).WithDump(d).WithEndpoint(ep) is still one Begin:
+		// unwrap passthroughs so chained acquires bind correctly.
+		for {
+			call, ok := ast.Unparen(e).(*ast.CallExpr)
+			if !ok {
+				return 0, "", false
+			}
+			fn := analysis.CalleeFunc(info, call)
+			if analysis.MethodIs(fn, tracePath, "Recorder", "Begin") {
+				return 0, "Recorder.Begin", true
+			}
+			if analysis.MethodIs(fn, tracePath, "Span", "WithDump") ||
+				analysis.MethodIs(fn, tracePath, "Span", "WithEndpoint") {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					e = sel.X
+					continue
+				}
+			}
+			return 0, "", false
+		}
+	},
+	Release: func(info *types.Info, call *ast.CallExpr) bool {
+		return analysis.MethodIs(analysis.CalleeFunc(info, call), tracePath, "Span", "End")
+	},
+	Passthrough: func(info *types.Info, call *ast.CallExpr) bool {
+		fn := analysis.CalleeFunc(info, call)
+		return analysis.MethodIs(fn, tracePath, "Span", "WithDump") ||
+			analysis.MethodIs(fn, tracePath, "Span", "WithEndpoint")
+	},
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range dataflow.Check(pass, spec) {
+		var msg string
+		switch f.Kind {
+		case dataflow.Leak:
+			msg = fmt.Sprintf("span from %s does not reach End on every path; "+
+				"the flight recorder reports it as an open interval", f.Desc)
+		case dataflow.LeakReassign:
+			msg = fmt.Sprintf("span from %s is overwritten before End; "+
+				"End it (End on the zero Span is a no-op) before rebinding", f.Desc)
+		case dataflow.Discard:
+			msg = fmt.Sprintf("result of %s is discarded; Begin without End "+
+				"skews the per-stage latency histograms", f.Desc)
+		default:
+			continue // End is harmless on a finished span; no exactly-once kinds
+		}
+		pass.Reportf(f.Pos, "%s", msg)
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"predata/internal/analysis/analysistest"
+	"predata/internal/analysis/spanend"
+)
+
+func TestSpanEnd(t *testing.T) {
+	analysistest.Run(t, spanend.Analyzer, "testdata/src/a")
+}

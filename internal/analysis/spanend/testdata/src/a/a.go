@@ -1,0 +1,108 @@
+// Fixture for the spanend analyzer: flight-recorder spans opened with
+// Recorder.Begin must reach Span.End on every path.
+package a
+
+import (
+	"predata/internal/trace"
+)
+
+// ---- positive cases ----
+
+// LeakEarlyReturn skips End on the error path — the classic leak.
+func LeakEarlyReturn(r *trace.Recorder, err error) error {
+	sp := r.Begin(trace.PhaseWrite, 0, 0, 1, 1) // want `span from Recorder.Begin does not reach End on every path`
+	if err != nil {
+		return err
+	}
+	sp.End(0)
+	return nil
+}
+
+// Discarded opens a span nobody can ever End.
+func Discarded(r *trace.Recorder) {
+	r.Begin(trace.PhaseWrite, 0, 0, 1, 1) // want `result of Recorder.Begin is discarded`
+}
+
+// Rebind opens a second span over a live one.
+func Rebind(r *trace.Recorder) {
+	sp := r.Begin(trace.PhaseWrite, 0, 0, 1, 1)
+	sp = r.Begin(trace.PhaseWrite, 0, 0, 2, 2) // want `span from Recorder.Begin is overwritten before End`
+	sp.End(0)
+}
+
+// LeakChained binds a fluent chain and still misses End on one path.
+func LeakChained(r *trace.Recorder, c bool) {
+	sp := r.Begin(trace.PhaseWrite, 0, 0, 1, 1).WithDump(7) // want `span from Recorder.Begin does not reach End on every path`
+	if c {
+		return
+	}
+	sp.End(0)
+}
+
+// LeakSelectArm mirrors the throttle-wait idiom with a missing arm.
+func LeakSelectArm(r *trace.Recorder, a, b chan struct{}) {
+	sp := r.Begin(trace.PhaseWrite, 0, 0, 1, 1) // want `span from Recorder.Begin does not reach End on every path`
+	select {
+	case <-a:
+		sp.End(1)
+	case <-b:
+	}
+}
+
+// ---- negative cases ----
+
+// CleanDefer ends at exit on every path.
+func CleanDefer(r *trace.Recorder, work func() error) error {
+	sp := r.Begin(trace.PhaseWrite, 0, 0, 1, 1)
+	defer sp.End(0)
+	return work()
+}
+
+// CleanFluent ends through the full annotation chain.
+func CleanFluent(r *trace.Recorder, ep int, dump int64) {
+	sp := r.Begin(trace.PhaseWrite, 0, 0, 1, 1)
+	sp.WithEndpoint(ep).WithDump(dump).End(0)
+}
+
+// CleanRebindPassthrough re-binds through a passthrough, which carries
+// the obligation rather than dropping it.
+func CleanRebindPassthrough(r *trace.Recorder, dump int64) {
+	sp := r.Begin(trace.PhaseWrite, 0, 0, 1, 1)
+	sp = sp.WithDump(dump)
+	sp.End(0)
+}
+
+// CleanBothArms ends explicitly on each branch.
+func CleanBothArms(r *trace.Recorder, c bool) {
+	sp := r.Begin(trace.PhaseWrite, 0, 0, 1, 1)
+	if c {
+		sp.End(1)
+		return
+	}
+	sp.End(0)
+}
+
+// Handoff returns the span; the caller owns End now.
+func Handoff(r *trace.Recorder) trace.Span {
+	return r.Begin(trace.PhaseWrite, 0, 0, 1, 1)
+}
+
+// HandoffBound binds first, then returns.
+func HandoffBound(r *trace.Recorder, c bool) trace.Span {
+	sp := r.Begin(trace.PhaseWrite, 0, 0, 1, 1)
+	if c {
+		sp = sp.WithDump(9)
+	}
+	return sp
+}
+
+// CondBegin is the retiring-drain idiom: Begin conditionally, End
+// unconditionally — End on the zero Span is a no-op by contract.
+func CondBegin(r *trace.Recorder, retiring bool, work func()) {
+	var sp trace.Span
+	if retiring {
+		sp = r.Begin(trace.PhaseWrite, 0, 0, 1, 1)
+	}
+	work()
+	sp.End(0)
+}

@@ -1,0 +1,13 @@
+// Fixture for the -fix round-trip: every finding carries a suggested
+// fix, and the files cover each import shape the fix must handle —
+// errors already imported (here), no imports at all (b.go), a grouped
+// import block (c.go), and a single non-errors import (d.go).
+package fix
+
+import "errors"
+
+var ErrBase = errors.New("base")
+
+func AlreadyImported(err error) bool {
+	return err == ErrBase
+}

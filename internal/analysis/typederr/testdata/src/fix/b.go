@@ -1,0 +1,5 @@
+package fix
+
+func NoImports(err error) bool {
+	return err == ErrBase
+}

@@ -1,0 +1,15 @@
+package fix
+
+import (
+	"fmt"
+)
+
+func Grouped(err error) error {
+	if err == ErrBase {
+		return fmt.Errorf("wrapped: %w", err)
+	}
+	if err != ErrBase {
+		return nil
+	}
+	return err
+}

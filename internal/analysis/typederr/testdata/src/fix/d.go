@@ -1,0 +1,10 @@
+package fix
+
+import "fmt"
+
+func SingleImport(err error) string {
+	if err == ErrBase {
+		return fmt.Sprint("base")
+	}
+	return ""
+}

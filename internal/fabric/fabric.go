@@ -295,12 +295,15 @@ func (e *Endpoint) recvCtl(timeout time.Duration) (src int, data any, err error)
 	}
 	for len(st.mailbox) == 0 {
 		if st.failed {
+			sp.End(0)
 			return 0, nil, fmt.Errorf("fabric: endpoint %d: %w", e.id, faults.ErrEndpointDown)
 		}
 		if st.closed {
+			sp.End(0)
 			return 0, nil, fmt.Errorf("fabric: endpoint %d: %w", e.id, ErrShutdown)
 		}
 		if timeout > 0 && !time.Now().Before(deadline) {
+			sp.End(0)
 			return 0, nil, fmt.Errorf("fabric: endpoint %d: no control message within %v: %w", e.id, timeout, ErrTimeout)
 		}
 		st.mailCond.Wait()
@@ -435,21 +438,25 @@ func (e *Endpoint) PullContext(ctx context.Context, h Handle) ([]byte, time.Dura
 	}
 	if err := ctx.Err(); err != nil && !src.failed && !src.closed {
 		f.mu.Unlock()
+		sp.End(0)
 		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d: %w", h.Endpoint, err)
 	}
 	if src.failed {
 		f.mu.Unlock()
 		f.cfg.Faults.NoteDownRefusal()
 		f.cfg.Tracer.Instant(trace.PhaseRefusal, e.id, h.Endpoint, -1, 0, int64(faults.OpPull))
+		sp.End(0)
 		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d: %w", h.Endpoint, faults.ErrEndpointDown)
 	}
 	if src.closed {
 		f.mu.Unlock()
+		sp.End(0)
 		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d: %w", h.Endpoint, ErrShutdown)
 	}
 	reg, ok := src.regions[h.ID]
 	if !ok {
 		f.mu.Unlock()
+		sp.End(0)
 		return nil, 0, fmt.Errorf("fabric: Pull of unknown region %d on endpoint %d", h.ID, h.Endpoint)
 	}
 	delete(src.regions, h.ID)

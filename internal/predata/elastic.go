@@ -317,10 +317,12 @@ func RunElastic(cfg PipelineConfig, ecfg ElasticConfig, computeFn ComputeFunc, o
 					}
 					nf, err := fullCur.Split(crashColor, myIdx)
 					if err != nil {
+						rsp.End(0)
 						return fmt.Errorf("staging rank %d pool shrink at dump %d: %w", myIdx, dump, err)
 					}
 					if crashColor < 0 {
 						if err := fab.FailEndpoint(world.Rank()); err != nil {
+							rsp.End(0)
 							return err
 						}
 						cfg.Tracer.Instant(trace.PhaseCrashExit, world.Rank(), -1, dumpT, int64(len(results)), 0)
@@ -349,10 +351,12 @@ func RunElastic(cfg PipelineConfig, ecfg ElasticConfig, computeFn ComputeFunc, o
 				}
 				sub, err := fullCur.Split(activeColor, myIdx)
 				if err != nil {
+					drain.End(0)
 					return fmt.Errorf("staging rank %d serving split at dump %d: %w", myIdx, dump, err)
 				}
 				if pos >= 0 {
 					if err := server.Reconfigure(sub, epoch, time.Since(recStart)); err != nil {
+						drain.End(0)
 						return fmt.Errorf("staging rank %d reconfigure at dump %d: %w", myIdx, dump, err)
 					}
 				}
@@ -365,6 +369,7 @@ func RunElastic(cfg PipelineConfig, ecfg ElasticConfig, computeFn ComputeFunc, o
 						hs := time.Now()
 						st, err := ecfg.Space.Resize(len(set))
 						if err != nil {
+							drain.End(0)
 							return fmt.Errorf("staging rank %d shard handoff at dump %d: %w", myIdx, dump, err)
 						}
 						handoffCells = st.MovedCells
@@ -391,9 +396,8 @@ func RunElastic(cfg PipelineConfig, ecfg ElasticConfig, computeFn ComputeFunc, o
 					})
 					reportMu.Unlock()
 				}
-				if retiring {
-					drain.End(int64(len(set)))
-				}
+				// End on the zero Span (not retiring) is a no-op.
+				drain.End(int64(len(set)))
 				// Every live rank stamps the epoch it is entering: first
 				// dump, active count, and the active-index bitmask that
 				// trace.Verify checks for cross-rank agreement and

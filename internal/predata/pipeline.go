@@ -339,10 +339,12 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 				}
 				sub, err := cur.Split(color, myIdx)
 				if err != nil {
+					rsp.End(0)
 					return fmt.Errorf("staging rank %d shrink at dump %d: %w", myIdx, dump, err)
 				}
 				if color < 0 {
 					if err := fab.FailEndpoint(world.Rank()); err != nil {
+						rsp.End(0)
 						return err
 					}
 					cfg.Tracer.Instant(trace.PhaseCrashExit, world.Rank(), -1, int64(dump), int64(len(results)), 0)
@@ -353,6 +355,7 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 				cur = sub
 				epoch++
 				if err := server.Reconfigure(cur, epoch, time.Since(recStart)); err != nil {
+					rsp.End(0)
 					return fmt.Errorf("staging rank %d reconfigure at dump %d: %w", myIdx, dump, err)
 				}
 				rsp.End(int64(len(nowLive)))

@@ -180,6 +180,9 @@ const (
 func (c *Client) Write(schema *ffs.Schema, rec ffs.Record, timestep int64) (time.Duration, error) {
 	start := time.Now()
 	sp := c.cfg.Tracer.Begin(trace.PhaseWrite, c.cfg.Endpoint.ID(), -1, timestep, -1)
+	// One span covers the whole write; error paths End it with 0 bytes.
+	sentBytes := int64(0)
+	defer func() { sp.End(sentBytes) }()
 	if c.cfg.Transform != nil {
 		var err error
 		schema, rec, err = c.cfg.Transform(schema, rec)
@@ -252,7 +255,7 @@ func (c *Client) Write(schema *ffs.Schema, rec ffs.Record, timestep int64) (time
 	visible := time.Since(start)
 	c.VisibleTime += visible
 	c.PackedBytes += int64(len(buf))
-	sp.End(int64(len(buf)))
+	sentBytes = int64(len(buf))
 	return visible, nil
 }
 
@@ -547,6 +550,7 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	sp := s.cfg.Tracer.Begin(trace.PhaseGather, s.cfg.Endpoint.ID(), -1, timestep, -1)
 	served, err := s.servedAt(timestep)
 	if err != nil {
+		sp.End(0)
 		return nil, nil, err
 	}
 	var deadline time.Time
@@ -558,6 +562,7 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	for len(reqs) < len(served) {
 		req, err := s.recvRequest(deadline, stats)
 		if err != nil {
+			sp.End(0)
 			return nil, nil, err
 		}
 		if req.Timestep == timestep {
@@ -571,9 +576,11 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 		// fail fast instead of deadlocking the staging area.
 		other, err := s.servedAt(req.Timestep)
 		if err != nil {
+			sp.End(0)
 			return nil, nil, err
 		}
 		if exp := len(other); exp > 0 && len(s.pending[req.Timestep]) >= exp {
+			sp.End(0)
 			return nil, nil, fmt.Errorf(
 				"predata: ServeDump(%d) but all %d served ranks sent timestep %d",
 				timestep, exp, req.Timestep)
@@ -598,6 +605,7 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	}
 	all, err := mpi.Allgather(s.cfg.Comm, local)
 	if err != nil {
+		sp.End(0)
 		return nil, nil, fmt.Errorf("predata: partial exchange: %w", err)
 	}
 	var agg map[string]any

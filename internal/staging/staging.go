@@ -247,6 +247,7 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 	sp := e.tracer.Begin(trace.PhaseInitialize, e.traceEP, -1, e.traceDump, -1)
 	for i, op := range ops {
 		if err := op.Initialize(ctxs[i], agg); err != nil {
+			sp.End(0)
 			return nil, fmt.Errorf("staging: %s.Initialize: %w", op.Name(), err)
 		}
 	}
@@ -349,6 +350,7 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 			for tag, vals := range ctx.emitted {
 				merged, err := cb.Combine(tag, vals)
 				if err != nil {
+					sp.End(0)
 					return nil, fmt.Errorf("staging: %s.Combine: %w", op.Name(), err)
 				}
 				ctx.emitted[tag] = merged
@@ -375,6 +377,7 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 		for tag, vals := range ctx.emitted {
 			dst := partition(tag)
 			if dst < 0 || dst >= comm.Size() {
+				sp.End(0)
 				return nil, fmt.Errorf("staging: %s.Partition(%d) = %d outside [0,%d)",
 					op.Name(), tag, dst, comm.Size())
 			}
@@ -384,6 +387,7 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 		}
 		recv, err := mpi.Alltoall(comm, buckets)
 		if err != nil {
+			sp.End(0)
 			return nil, fmt.Errorf("staging: %s shuffle: %w", op.Name(), err)
 		}
 		sp.End(int64(emitted))
@@ -406,6 +410,7 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 		sort.Ints(tags)
 		for _, tag := range tags {
 			if err := op.Reduce(ctx, tag, groups[tag]); err != nil {
+				sp.End(0)
 				return nil, fmt.Errorf("staging: %s.Reduce(tag %d): %w", op.Name(), tag, err)
 			}
 		}
@@ -419,6 +424,7 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 	sp = e.tracer.Begin(trace.PhaseFinalize, e.traceEP, -1, e.traceDump, -1)
 	for i, op := range ops {
 		if err := op.Finalize(ctxs[i]); err != nil {
+			sp.End(0)
 			return nil, fmt.Errorf("staging: %s.Finalize: %w", op.Name(), err)
 		}
 		res.PerOperator[op.Name()] = ctxs[i].results
