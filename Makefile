@@ -1,7 +1,7 @@
 GO ?= go
 VET_BIN := bin/predata-vet
 
-.PHONY: all build test race fmt vet vet-fixtures bench-smoke trace-test elastic-soak evaluation clean
+.PHONY: all build test race fmt vet vet-fixtures bench-smoke trace-test elastic-soak adversary-soak evaluation clean
 
 all: build vet test
 
@@ -54,6 +54,15 @@ elastic-soak:
 	$(GO) test -race -shuffle=on -count=1 ./internal/elastic/ ./internal/apps/xray/
 	$(GO) test -race -shuffle=on -count=1 -run 'Elastic|Reconfigure|Split|Resize' ./internal/predata/ ./internal/mpi/ ./internal/dataspaces/
 	$(GO) run ./cmd/predata-bench -experiment elastic -json BENCH_elastic.json
+
+# adversary-soak runs the adversarial-wire suite: chunk integrity under
+# wire and source corruption, quorum fencing and heal across staging
+# partitions, control-plane dup suppression, hedged pulls (raced,
+# shuffled), and the adversary experiment (DESIGN.md §13). CI repeats
+# it across fault seeds 1/7/42.
+adversary-soak:
+	$(GO) test -race -shuffle=on -count=1 -run 'Adversary|Corrupt|Partition|Hedg|Dup|Quorum|Fence|Heal|Seal|Integrity' ./internal/faults/ ./internal/fabric/ ./internal/predata/ ./internal/staging/ ./internal/trace/
+	$(GO) run ./cmd/predata-bench -experiment adversary -json BENCH_adversary.json
 
 evaluation:
 	$(GO) run ./cmd/predata-bench -experiment all

@@ -9,6 +9,7 @@
 //	predata-bench -experiment overload [-json BENCH_overload.json]
 //	predata-bench -experiment trace [-json BENCH_trace.json]
 //	predata-bench -experiment elastic [-json BENCH_elastic.json]
+//	predata-bench -experiment adversary [-json BENCH_adversary.json]
 //	predata-bench -experiment ablations
 //	predata-bench -experiment all
 //
@@ -27,10 +28,10 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|chaos|overload|trace|elastic|ablations|all")
+		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|chaos|overload|trace|elastic|adversary|ablations|all")
 	op := flag.String("op", "all", "fig7 operator: sort|hist|hist2d|all")
 	jsonPath := flag.String("json", "BENCH_overload.json",
-		"overload/trace/elastic experiments: write the summary as JSON to this path (empty disables; trace and elastic default to BENCH_trace.json / BENCH_elastic.json)")
+		"overload/trace/elastic/adversary experiments: write the summary as JSON to this path (empty disables; trace, elastic and adversary default to BENCH_trace.json / BENCH_elastic.json / BENCH_adversary.json)")
 	flag.Parse()
 
 	// The flag default carries the overload experiment's filename; the
@@ -46,6 +47,9 @@ func main() {
 	}
 	if *experiment == "elastic" && !jsonSet {
 		*jsonPath = "BENCH_elastic.json"
+	}
+	if *experiment == "adversary" && !jsonSet {
+		*jsonPath = "BENCH_adversary.json"
 	}
 
 	if err := run(os.Stdout, *experiment, *op, *jsonPath); err != nil {
@@ -93,6 +97,8 @@ func run(w io.Writer, experiment, op, jsonPath string) error {
 		return bench.Trace(w, jsonPath)
 	case "elastic":
 		return bench.Elastic(w, jsonPath)
+	case "adversary":
+		return bench.Adversary(w, jsonPath)
 	case "ablations":
 		return ablations()
 	case "all":
@@ -101,10 +107,12 @@ func run(w io.Writer, experiment, op, jsonPath string) error {
 			bench.Fig8, bench.Fig9, bench.Fig10, bench.Fig11, bench.Offline,
 			bench.DESCrossCheck, bench.Chaos,
 			func(w io.Writer) error { return bench.Overload(w, jsonPath) },
-			// trace and elastic write no JSON under "all" so they cannot
-			// clobber the overload trajectory sharing the -json flag.
+			// trace, elastic and adversary write no JSON under "all" so
+			// they cannot clobber the overload trajectory sharing the
+			// -json flag.
 			func(w io.Writer) error { return bench.Trace(w, "") },
 			func(w io.Writer) error { return bench.Elastic(w, "") },
+			func(w io.Writer) error { return bench.Adversary(w, "") },
 		} {
 			if err := f(w); err != nil {
 				return err

@@ -47,9 +47,12 @@ func main() {
 		dumps     = flag.Int("dumps", 2, "I/O dumps")
 		opsFlag   = flag.String("ops", "sort,hist", "operators: sort,hist,hist2d,index,reorg")
 		workers   = flag.Int("workers", 2, "map workers per staging rank")
-		faultPlan = flag.String("fault-plan", "", "fault plan, e.g. 'transient:*:0.1;crash:9@1;degrade:3:0-2:4' (staging mode only)")
-		faultSeed = flag.Int64("fault-seed", 1, "seed for the fault plan's probabilistic draws")
-		bufferMB  = flag.Int("buffer-mb", -1,
+		faultPlan = flag.String("fault-plan", "",
+			"fault plan, e.g. 'transient:*:0.1;crash:9@1;degrade:3:0-2:4;corrupt:*:0.1:pull;partition:10|8,9@1-2;dup:*:0.2' (staging mode only)")
+		faultSeed   = flag.Int64("fault-seed", 1, "seed for the fault plan's probabilistic draws")
+		hedgeFactor = flag.Float64("hedge-factor", 0,
+			"straggler hedging: re-issue a pull once it exceeds this multiple of the bandwidth-model estimate (0 uses the default, negative disables; staging mode only)")
+		bufferMB = flag.Int("buffer-mb", -1,
 			"staging memory budget in MB (0 disables; -1 takes the ADIOS <buffer size-MB> when -adios-config is given, else 0)")
 		spillDir  = flag.String("spill-dir", "", "directory for overload spill segments (default: system temp)")
 		tracePath = flag.String("trace", "",
@@ -89,6 +92,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "predata-run: -elastic requires -mode staging")
 			os.Exit(2)
 		}
+		if *hedgeFactor != 0 {
+			fmt.Fprintln(os.Stderr, "predata-run: -hedge-factor requires -mode staging")
+			os.Exit(2)
+		}
 		if *app == "xray" {
 			fmt.Fprintln(os.Stderr, "predata-run: the xray workload requires -mode staging")
 			os.Exit(2)
@@ -103,13 +110,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "predata-run: unknown -mode", *mode)
 		os.Exit(2)
 	}
-	if err := run(*app, *compute, *stagingN, *particles, *local, *frames, *dumps, *workers, *opsFlag, *faultPlan, *faultSeed, *bufferMB, *spillDir, *tracePath, *elasticSpec, *scalePolicy); err != nil {
+	if err := run(*app, *compute, *stagingN, *particles, *local, *frames, *dumps, *workers, *opsFlag, *faultPlan, *faultSeed, *hedgeFactor, *bufferMB, *spillDir, *tracePath, *elasticSpec, *scalePolicy); err != nil {
 		fmt.Fprintln(os.Stderr, "predata-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, compute, stagingN, particles, local, frames, dumps, workers int, opsFlag, faultPlan string, faultSeed int64, bufferMB int, spillDir, tracePath, elasticSpec, scalePolicy string) error {
+func run(app string, compute, stagingN, particles, local, frames, dumps, workers int, opsFlag, faultPlan string, faultSeed int64, hedgeFactor float64, bufferMB int, spillDir, tracePath, elasticSpec, scalePolicy string) error {
 	opNames := strings.Split(opsFlag, ",")
 	factory, err := operatorFactory(app, opNames)
 	if err != nil {
@@ -128,6 +135,7 @@ func run(app string, compute, stagingN, particles, local, frames, dumps, workers
 		PullConcurrency: 2,
 		BufferMB:        bufferMB,
 		Overload:        flowctl.Policy{SpillDir: spillDir},
+		Retry:           predata.RetryPolicy{HedgeFactor: hedgeFactor},
 	}
 	if faultPlan != "" {
 		plan, err := faults.ParsePlan(faultPlan, faultSeed)
@@ -197,6 +205,20 @@ func run(app string, compute, stagingN, particles, local, frames, dumps, workers
 	if rep := res.Fault; rep != nil {
 		fmt.Printf("faults: %d transients injected, %d retries, %d rerouted writes, %d redistributed requests, %d drops, %d degraded dumps",
 			rep.InjectedTransients, rep.Retries, rep.ReroutedDumps, rep.Redistributed, rep.Drops, rep.DegradedDumps)
+		if rep.Corruptions > 0 || rep.CorruptPulls > 0 {
+			fmt.Printf(", %d corruptions (%d CRC-failed pulls, %d shed)",
+				rep.Corruptions, rep.CorruptPulls, rep.CorruptDrops)
+		}
+		if rep.FencedDumps > 0 || rep.Heals > 0 {
+			fmt.Printf(", %d unreachable ops, %d fenced dumps, %d heals",
+				rep.Unreachables, rep.FencedDumps, rep.Heals)
+		}
+		if rep.HedgedPulls > 0 {
+			fmt.Printf(", %d hedged pulls (%d hedge wins)", rep.HedgedPulls, rep.HedgeWins)
+		}
+		if rep.Duplicates > 0 {
+			fmt.Printf(", %d duplicated ctl messages (%d absorbed)", rep.Duplicates, rep.DupDrops)
+		}
 		if len(rep.CrashedStaging) > 0 {
 			fmt.Printf(", crashed staging %v, recovery %v",
 				rep.CrashedStaging, rep.RecoveryWall.Round(time.Microsecond))

@@ -93,3 +93,30 @@ func goodScalePollCtx(ctx context.Context, active func() int, target int) {
 		time.Sleep(5 * time.Millisecond)
 	}
 }
+
+// A hedged transfer that keeps re-arming its hedge delay and retrying
+// the race with no context or attempt budget: a source that never
+// answers pins the puller forever.
+func badHedgeWait(pull func() ([]byte, bool), hedgeDelay time.Duration) []byte {
+	for { // want `retry loop sleeps between attempts but has no deadline, cancellation, or attempt bound`
+		if buf, ok := pull(); ok {
+			return buf
+		}
+		time.Sleep(hedgeDelay)
+	}
+}
+
+// The hedged-pull wait loop's required shape: each attempt races a
+// primary against a hedge armed after the bandwidth-model delay, and
+// the enclosing loop is both context-cancellable and attempt-bounded.
+func goodHedgeWait(ctx context.Context, pull func(context.Context) ([]byte, bool), hedgeDelay time.Duration, maxAttempts int) []byte {
+	for attempt := 0; ; attempt++ {
+		if buf, ok := pull(ctx); ok {
+			return buf
+		}
+		if attempt+1 >= maxAttempts || ctx.Err() != nil {
+			return nil
+		}
+		time.Sleep(hedgeDelay)
+	}
+}

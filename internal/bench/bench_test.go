@@ -205,6 +205,41 @@ func TestElasticExperiment(t *testing.T) {
 	}
 }
 
+func TestAdversaryExperiment(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_adversary.json")
+	runFig(t, "adversary", func() (string, error) {
+		var buf bytes.Buffer
+		err := Adversary(&buf, jsonPath)
+		return buf.String(), err
+	}, "fault-free", "wire corrupt", "partition", "straggler", "no silent loss")
+	doc, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("adversary json not written: %v", err)
+	}
+	var sum AdversarySummary
+	if err := json.Unmarshal(doc, &sum); err != nil {
+		t.Fatalf("adversary json unparsable: %v", err)
+	}
+	if len(sum.Runs) != 5 {
+		t.Fatalf("adversary json has %d runs, want 5", len(sum.Runs))
+	}
+	// The acceptance inequalities Adversary itself enforces, re-checked
+	// from the emitted document.
+	wire, source, part, straggler := sum.Runs[1], sum.Runs[2], sum.Runs[3], sum.Runs[4]
+	if wire.CorruptPulls == 0 || wire.DataLoss != 0 {
+		t.Errorf("wire leg did not heal corruption losslessly: %+v", wire)
+	}
+	if source.CorruptDrops == 0 || source.DegradedDumps == 0 || source.DataLoss == 0 {
+		t.Errorf("source leg did not shed loudly: %+v", source)
+	}
+	if part.Heals != 1 || part.FencedDumps == 0 || part.DataLoss != 0 {
+		t.Errorf("partition leg did not fence and heal lossless: %+v", part)
+	}
+	if straggler.HedgedPulls == 0 || straggler.DataLoss != 0 {
+		t.Errorf("straggler leg did not hedge losslessly: %+v", straggler)
+	}
+}
+
 func TestAblationScheduling(t *testing.T) {
 	runFig(t, "scheduling", func() (string, error) {
 		var buf bytes.Buffer

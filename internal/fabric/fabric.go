@@ -67,9 +67,10 @@ type Config struct {
 	// disables pacing (transfers complete at memory speed and only the
 	// returned duration reflects the model).
 	PaceScale float64
-	// Faults, when non-nil, injects transient pull/control failures and
-	// degraded-bandwidth windows into every operation on this fabric.
-	// Endpoint crashes are driven separately through FailEndpoint.
+	// Faults, when non-nil, injects transient pull/control failures,
+	// degraded-bandwidth windows, payload corruption, link partitions,
+	// and control-message duplication into every operation on this
+	// fabric. Endpoint crashes are driven separately through FailEndpoint.
 	Faults *faults.Injector
 	// Tracer, when non-nil, records pull spans, control-plane events,
 	// injected faults, and endpoint failures into the flight recorder.
@@ -128,10 +129,23 @@ type endpointState struct {
 	epoch        int64 // current dump epoch, stamped onto exposed regions
 	closed       bool  // fabric shut down
 	failed       bool  // endpoint crashed (fault injection)
+
+	// Control-plane delivery state. ctlSent sequences this endpoint's
+	// outgoing messages per destination; lastCtl remembers the highest
+	// sequence delivered per source so recvCtl can absorb duplicates;
+	// dupStash holds fault-injected duplicate copies addressed to this
+	// endpoint, delivered late (behind a later send) to model reordering.
+	ctlSent  map[int]uint64
+	lastCtl  map[int]uint64
+	dupStash []ctlMessage
 }
 
+// ctlMessage is one mailbox entry. seq is a per-(src → dst) stream
+// sequence number starting at 1; duplicates carry their original's seq,
+// which is how the receiver recognizes them.
 type ctlMessage struct {
 	src  int
+	seq  uint64
 	data any
 }
 
@@ -150,7 +164,11 @@ func New(cfg Config) (*Fabric, error) {
 	}
 	f.cond = sync.NewCond(&f.mu)
 	for i := range f.eps {
-		f.eps[i] = &endpointState{regions: make(map[uint64]region)}
+		f.eps[i] = &endpointState{
+			regions: make(map[uint64]region),
+			ctlSent: make(map[int]uint64),
+			lastCtl: make(map[int]uint64),
+		}
 		f.eps[i].mailCond = sync.NewCond(&f.mu)
 	}
 	return f, nil
@@ -251,7 +269,27 @@ func (e *Endpoint) SendCtl(dst int, data any) error {
 		f.mu.Unlock()
 		return fmt.Errorf("fabric: SendCtl to endpoint %d: %w", dst, ErrShutdown)
 	}
-	target.mailbox = append(target.mailbox, ctlMessage{src: e.id, data: data})
+	if f.cfg.Faults.Unreachable(e.id, dst, epoch) {
+		f.mu.Unlock()
+		f.cfg.Faults.NoteUnreachable()
+		f.cfg.Tracer.Instant(trace.PhaseUnreachable, e.id, dst, epoch, 0, int64(faults.OpSendCtl))
+		return fmt.Errorf("fabric: SendCtl to endpoint %d at dump %d: %w", dst, epoch, faults.ErrUnreachable)
+	}
+	sender := f.eps[e.id]
+	sender.ctlSent[dst]++
+	seq := sender.ctlSent[dst]
+	// A stashed duplicate is flushed ahead of the new message: it lands
+	// behind its own original (the receiver sees a duplicate that is also
+	// reordered relative to newer traffic) but never before it.
+	if len(target.dupStash) > 0 {
+		target.mailbox = append(target.mailbox, target.dupStash[0])
+		target.dupStash = target.dupStash[1:]
+	}
+	m := ctlMessage{src: e.id, seq: seq, data: data}
+	target.mailbox = append(target.mailbox, m)
+	if f.cfg.Faults.DupFault(dst) {
+		target.dupStash = append(target.dupStash, m)
+	}
 	f.mu.Unlock()
 	target.mailCond.Broadcast()
 	f.cfg.Tracer.Instant(trace.PhaseSendCtl, e.id, dst, epoch, 0, 0)
@@ -293,7 +331,26 @@ func (e *Endpoint) recvCtl(timeout time.Duration) (src int, data any, err error)
 		})
 		defer stop.Stop()
 	}
-	for len(st.mailbox) == 0 {
+	for {
+		for len(st.mailbox) > 0 {
+			m := st.mailbox[0]
+			st.mailbox = st.mailbox[1:]
+			// Delivery is idempotent under duplication: each (src → dst)
+			// stream is sequenced at the sender, and a message at or below
+			// the last delivered sequence for its source is a duplicate —
+			// injected copies always trail their original — so it is
+			// absorbed here instead of reaching the application.
+			if m.seq > 0 && m.seq <= st.lastCtl[m.src] {
+				f.cfg.Faults.NoteDupDrop()
+				f.cfg.Tracer.Instant(trace.PhaseDupDrop, e.id, m.src, st.epoch, 0, int64(m.seq))
+				continue
+			}
+			if m.seq > 0 {
+				st.lastCtl[m.src] = m.seq
+			}
+			sp.WithEndpoint(m.src).WithDump(st.epoch).End(0)
+			return m.src, m.data, nil
+		}
 		if st.failed {
 			sp.End(0)
 			return 0, nil, fmt.Errorf("fabric: endpoint %d: %w", e.id, faults.ErrEndpointDown)
@@ -308,10 +365,6 @@ func (e *Endpoint) recvCtl(timeout time.Duration) (src int, data any, err error)
 		}
 		st.mailCond.Wait()
 	}
-	m := st.mailbox[0]
-	st.mailbox = st.mailbox[1:]
-	sp.WithEndpoint(m.src).WithDump(st.epoch).End(0)
-	return m.src, m.data, nil
 }
 
 // SetEpoch declares the dump epoch stamped onto regions this endpoint
@@ -326,8 +379,20 @@ func (e *Endpoint) SetEpoch(epoch int64) {
 // Expose registers buf as a pullable memory region and returns its handle.
 // The caller must not mutate buf until the region is released (pulled with
 // release=true or explicitly Released).
+//
+// A send-site corrupt fault (corrupt:EP:PROB:send) flips a byte in the
+// region itself — the source's copy is bad, so every pull of this
+// handle returns the same damaged bytes and a re-pull cannot heal it.
+// The caller's buf is never mutated; the region keeps a corrupted copy.
 func (e *Endpoint) Expose(buf []byte) Handle {
 	f := e.f
+	if pos, hit := f.cfg.Faults.CorruptFault(faults.OpSendCtl, e.id, len(buf)); hit {
+		bad := make([]byte, len(buf))
+		copy(bad, buf)
+		bad[pos] ^= 0xFF
+		buf = bad
+		f.cfg.Tracer.Instant(trace.PhaseCorrupt, e.id, e.id, -1, 0, int64(pos))
+	}
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	st := f.eps[e.id]
@@ -415,6 +480,49 @@ func (e *Endpoint) Pull(h Handle) ([]byte, time.Duration, error) {
 // transfer always completes — cancellation during the paced wait only
 // stops the pacing early, never loses the data.
 func (e *Endpoint) PullContext(ctx context.Context, h Handle) ([]byte, time.Duration, error) {
+	return e.pull(ctx, h, true)
+}
+
+// PullRetain is PullContext without consuming the region: the source
+// keeps the handle exposed until the puller calls Ack (or the owner
+// Release). This is the integrity-checked transfer primitive — the
+// puller verifies the delivered bytes end-to-end first and acknowledges
+// only then, so a corrupted delivery can be re-pulled, and concurrent
+// hedged pulls of the same handle are safe.
+func (e *Endpoint) PullRetain(ctx context.Context, h Handle) ([]byte, time.Duration, error) {
+	return e.pull(ctx, h, false)
+}
+
+// Ack releases the region named by h from the puller's side, completing
+// a PullRetain transfer after end-to-end verification. Acking a region
+// that is already gone — the loser of a hedged pull acking after the
+// winner, or an owner that crashed — is a harmless no-op, so hedge
+// races need no extra coordination.
+func (e *Endpoint) Ack(h Handle) error {
+	f := e.f
+	if h.Endpoint < 0 || h.Endpoint >= len(f.eps) {
+		return fmt.Errorf("fabric: Ack of handle on endpoint %d outside fabric", h.Endpoint)
+	}
+	f.mu.Lock()
+	delete(f.eps[h.Endpoint].regions, h.ID)
+	f.mu.Unlock()
+	return nil
+}
+
+// PullEstimate returns the modeled duration of pulling size bytes over
+// an idle, fault-free fabric, and the wall-clock time such a pull would
+// take under the configured pacing (zero when pacing is disabled).
+// Hedged pulls derive their trigger deadline from the wall estimate.
+func (e *Endpoint) PullEstimate(size int) (modeled, wall time.Duration) {
+	f := e.f
+	modeled = f.cfg.Latency + time.Duration(float64(size)/f.cfg.LinkBandwidth*float64(time.Second))
+	if f.cfg.PaceScale > 0 {
+		wall = time.Duration(float64(modeled) * f.cfg.PaceScale)
+	}
+	return modeled, wall
+}
+
+func (e *Endpoint) pull(ctx context.Context, h Handle, consume bool) ([]byte, time.Duration, error) {
 	f := e.f
 	if h.Endpoint < 0 || h.Endpoint >= len(f.eps) {
 		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d outside fabric", h.Endpoint)
@@ -459,7 +567,20 @@ func (e *Endpoint) PullContext(ctx context.Context, h Handle) ([]byte, time.Dura
 		sp.End(0)
 		return nil, 0, fmt.Errorf("fabric: Pull of unknown region %d on endpoint %d", h.ID, h.Endpoint)
 	}
-	delete(src.regions, h.ID)
+	// Partitions cut the data plane too. The refusal keys off the dump
+	// the region belongs to and leaves the region exposed: the peer is
+	// alive, and the puller's recovery layer decides whether to reroute
+	// or wait out the window.
+	if f.cfg.Faults.Unreachable(e.id, h.Endpoint, reg.epoch) {
+		f.mu.Unlock()
+		f.cfg.Faults.NoteUnreachable()
+		f.cfg.Tracer.Instant(trace.PhaseUnreachable, e.id, h.Endpoint, reg.epoch, 0, int64(faults.OpPull))
+		sp.End(0)
+		return nil, 0, fmt.Errorf("fabric: Pull from endpoint %d at dump %d: %w", h.Endpoint, reg.epoch, faults.ErrUnreachable)
+	}
+	if consume {
+		delete(src.regions, h.ID)
+	}
 	busy := src.busyDepth > 0
 	f.active++
 	sharers := float64(f.active)
@@ -478,6 +599,14 @@ func (e *Endpoint) PullContext(ctx context.Context, h Handle) ([]byte, time.Dura
 
 	out := make([]byte, len(reg.buf))
 	copy(out, reg.buf)
+	// A pull-site corrupt fault flips a byte in the delivered copy only —
+	// wire corruption. The region keeps its intact bytes, so a CRC-failed
+	// delivery heals on re-pull (which is why PullRetain leaves the
+	// region in place until the puller acks).
+	if pos, hit := f.cfg.Faults.CorruptFault(faults.OpPull, h.Endpoint, len(out)); hit {
+		out[pos] ^= 0xFF
+		f.cfg.Tracer.Instant(trace.PhaseCorrupt, e.id, h.Endpoint, reg.epoch, 0, int64(pos))
+	}
 	if f.cfg.PaceScale > 0 {
 		// The bytes are already copied and the source region consumed, so
 		// ctx expiry only cuts the modeled pacing short — the pull still

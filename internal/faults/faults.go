@@ -12,9 +12,17 @@
 // predata recovery layer consults it for dump-indexed membership (which
 // staging ranks are alive at dump t).
 //
-// Two typed errors classify every injected failure for errors.Is:
-// ErrTransient (retry may succeed; the operation did not take effect)
-// and ErrEndpointDown (the endpoint crashed; reroute or degrade).
+// Beyond clean failures the plan also models an adversarial wire:
+// seeded payload bit-flips (Corrupt), bidirectional link partitions
+// over a dump window (Partition — the peer is alive but unreachable,
+// distinct from a crash), and control-message duplication with
+// reordering (Dup).
+//
+// Three typed errors classify every injected failure for errors.Is:
+// ErrTransient (retry may succeed; the operation did not take effect),
+// ErrEndpointDown (the endpoint crashed; reroute or degrade), and
+// ErrUnreachable (a partition severs the pair; the peer is alive and
+// the link heals when the window closes).
 package faults
 
 import (
@@ -36,6 +44,11 @@ var (
 	// ErrTransient marks an injected transient failure. The operation did
 	// not take effect and a retry may succeed.
 	ErrTransient = errors.New("transient fault")
+	// ErrUnreachable marks an operation refused because a network
+	// partition separates the two endpoints. The peer is alive — retrying
+	// inside the partition window cannot succeed, but the link heals at
+	// the window's end, so the peer must not be declared dead.
+	ErrUnreachable = errors.New("endpoint unreachable")
 )
 
 // AnyEndpoint matches every endpoint in a Transient or Degrade rule.
@@ -96,6 +109,57 @@ type Degrade struct {
 	Factor   float64 // transfer-duration multiplier, >= 1
 }
 
+// Corrupt flips one payload byte with probability Prob per transfer,
+// attributed to the endpoint the data lives on. Op selects the
+// injection site: OpPull corrupts the pulled copy (wire corruption — a
+// re-pull reads the intact region and heals), OpSendCtl corrupts the
+// exposed region itself (source corruption — every re-pull returns the
+// same bad bytes), and OpAny arms both sites.
+type Corrupt struct {
+	Endpoint int // endpoint id, or AnyEndpoint
+	Op       Op  // OpPull, OpSendCtl, or OpAny
+	Prob     float64
+}
+
+// Partition drops every fabric operation between the two endpoint
+// groups — bidirectionally, in both the control and data planes — for
+// dumps in [FromDump, ToDump] (ToDump < 0 leaves the window open).
+// Endpoints inside one group still reach each other; the partition is a
+// cut between the groups, not a crash of either side.
+type Partition struct {
+	GroupA   []int
+	GroupB   []int
+	FromDump int
+	ToDump   int
+}
+
+// severs reports whether the partition cuts the (a, b) pair at dump.
+func (pt Partition) severs(a, b int, dump int64) bool {
+	if dump < int64(pt.FromDump) || (pt.ToDump >= 0 && dump > int64(pt.ToDump)) {
+		return false
+	}
+	return (contains(pt.GroupA, a) && contains(pt.GroupB, b)) ||
+		(contains(pt.GroupA, b) && contains(pt.GroupB, a))
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Dup duplicates control messages sent to Endpoint with probability
+// Prob per send. The duplicate is delivered late — appended behind a
+// subsequent message — so the receiver sees duplicated *and* reordered
+// control traffic, the delivery anomaly (src, seq) dedup must absorb.
+type Dup struct {
+	Endpoint int // endpoint id, or AnyEndpoint
+	Prob     float64
+}
+
 // Plan is a complete, reproducible fault schedule for one run.
 type Plan struct {
 	// Seed drives every probabilistic draw; two runs of the same plan and
@@ -105,11 +169,15 @@ type Plan struct {
 	Crashes    []Crash
 	Transients []Transient
 	Degrades   []Degrade
+	Corrupts   []Corrupt
+	Partitions []Partition
+	Dups       []Dup
 }
 
 // Empty reports whether the plan injects nothing.
 func (p Plan) Empty() bool {
-	return len(p.Crashes) == 0 && len(p.Transients) == 0 && len(p.Degrades) == 0
+	return len(p.Crashes) == 0 && len(p.Transients) == 0 && len(p.Degrades) == 0 &&
+		len(p.Corrupts) == 0 && len(p.Partitions) == 0 && len(p.Dups) == 0
 }
 
 // Validate checks rule ranges — probabilities in [0, 1], degrade factors
@@ -165,6 +233,88 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("faults: degrade window [%d,%d] invalid", d.FromDump, d.ToDump)
 		}
 	}
+	corruptSeen := make(map[scope]bool, len(p.Corrupts))
+	for _, c := range p.Corrupts {
+		if c.Endpoint < AnyEndpoint {
+			return fmt.Errorf("faults: corrupt endpoint %d invalid", c.Endpoint)
+		}
+		if c.Op != OpAny && c.Op != OpPull && c.Op != OpSendCtl {
+			return fmt.Errorf("faults: corrupt op %v invalid (want pull|send|any)", c.Op)
+		}
+		if !(c.Prob >= 0 && c.Prob <= 1) { // written to also reject NaN
+			return fmt.Errorf("faults: corrupt probability %g outside [0,1]", c.Prob)
+		}
+		s := scope{c.Endpoint, c.Op}
+		if corruptSeen[s] {
+			return fmt.Errorf("faults: duplicate corrupt rule for endpoint %d op %v", c.Endpoint, c.Op)
+		}
+		corruptSeen[s] = true
+	}
+	if err := p.validatePartitions(); err != nil {
+		return err
+	}
+	dupSeen := make(map[int]bool, len(p.Dups))
+	for _, d := range p.Dups {
+		if d.Endpoint < AnyEndpoint {
+			return fmt.Errorf("faults: dup endpoint %d invalid", d.Endpoint)
+		}
+		if !(d.Prob >= 0 && d.Prob <= 1) { // written to also reject NaN
+			return fmt.Errorf("faults: dup probability %g outside [0,1]", d.Prob)
+		}
+		if dupSeen[d.Endpoint] {
+			return fmt.Errorf("faults: duplicate dup rule for endpoint %d", d.Endpoint)
+		}
+		dupSeen[d.Endpoint] = true
+	}
+	return nil
+}
+
+// validatePartitions rejects malformed groups, self-partitions (an
+// endpoint on both sides of one cut), and two partitions whose dump
+// windows overlap for the same endpoint pair — the second would
+// silently restate the first, so the schedule is ambiguous.
+func (p Plan) validatePartitions() error {
+	type pair struct{ a, b int }
+	type window struct{ from, to int }
+	windows := make(map[pair][]window)
+	for _, pt := range p.Partitions {
+		if len(pt.GroupA) == 0 || len(pt.GroupB) == 0 {
+			return fmt.Errorf("faults: partition groups must both be non-empty")
+		}
+		for _, g := range [2][]int{pt.GroupA, pt.GroupB} {
+			for _, ep := range g {
+				if ep < 0 {
+					return fmt.Errorf("faults: partition endpoint %d must be >= 0", ep)
+				}
+			}
+		}
+		if pt.FromDump < 0 || (pt.ToDump >= 0 && pt.ToDump < pt.FromDump) {
+			return fmt.Errorf("faults: partition window [%d,%d] invalid", pt.FromDump, pt.ToDump)
+		}
+		for _, a := range pt.GroupA {
+			if contains(pt.GroupB, a) {
+				return fmt.Errorf("faults: endpoint %d appears on both sides of a partition (self-partition)", a)
+			}
+		}
+		w := window{pt.FromDump, pt.ToDump}
+		for _, a := range pt.GroupA {
+			for _, b := range pt.GroupB {
+				k := pair{a, b}
+				if b < a {
+					k = pair{b, a}
+				}
+				for _, prev := range windows[k] {
+					if w.from <= prev.to || prev.to < 0 {
+						if prev.from <= w.to || w.to < 0 {
+							return fmt.Errorf("faults: partitions overlap for endpoints %d and %d (windows [%d,%d] and [%d,%d])",
+								k.a, k.b, prev.from, prev.to, w.from, w.to)
+						}
+					}
+				}
+				windows[k] = append(windows[k], w)
+			}
+		}
+	}
 	return nil
 }
 
@@ -175,6 +325,16 @@ type Stats struct {
 	// DownRefusals is the number of fabric operations refused because
 	// they addressed a crashed endpoint.
 	DownRefusals metrics.Counter
+	// Corruptions is the number of payload bytes flipped by corrupt rules.
+	Corruptions metrics.Counter
+	// Duplicates is the number of control messages duplicated by dup rules.
+	Duplicates metrics.Counter
+	// DupDrops is the number of duplicated control messages the receiver
+	// deduplicated (recorded by the fabric via NoteDupDrop).
+	DupDrops metrics.Counter
+	// Unreachables is the number of fabric operations refused because a
+	// partition severed the endpoint pair (recorded via NoteUnreachable).
+	Unreachables metrics.Counter
 }
 
 // Injector evaluates a Plan at runtime. A nil *Injector is valid and
@@ -297,4 +457,105 @@ func (in *Injector) NoteDownRefusal() {
 		return
 	}
 	in.stats.DownRefusals.Inc()
+}
+
+// CorruptFault draws the corruption decision for one transfer of size
+// bytes attributed to endpoint, at the given injection site (OpPull for
+// the pulled copy, OpSendCtl for the exposed region). On a hit it
+// returns the byte offset to flip and true. Draws ride the endpoint's
+// private generator, so corruption interleaves deterministically with
+// the endpoint's transient draws.
+func (in *Injector) CorruptFault(op Op, endpoint, size int) (int, bool) {
+	if in == nil || len(in.plan.Corrupts) == 0 || size <= 0 {
+		return 0, false
+	}
+	prob := 0.0
+	for _, c := range in.plan.Corrupts {
+		if c.Endpoint != AnyEndpoint && c.Endpoint != endpoint {
+			continue
+		}
+		if c.Op != OpAny && c.Op != op {
+			continue
+		}
+		if c.Prob > prob {
+			prob = c.Prob
+		}
+	}
+	if prob <= 0 {
+		return 0, false
+	}
+	in.mu.Lock()
+	r := in.rng(endpoint)
+	hit := r.Float64() < prob
+	pos := 0
+	if hit {
+		pos = r.Intn(size)
+	}
+	in.mu.Unlock()
+	if !hit {
+		return 0, false
+	}
+	in.stats.Corruptions.Inc()
+	return pos, true
+}
+
+// Unreachable reports whether a partition severs the (a, b) endpoint
+// pair at dump. Both directions are cut: Unreachable(a, b, d) ==
+// Unreachable(b, a, d).
+func (in *Injector) Unreachable(a, b int, dump int64) bool {
+	if in == nil || a == b {
+		return false
+	}
+	for _, pt := range in.plan.Partitions {
+		if pt.severs(a, b, dump) {
+			return true
+		}
+	}
+	return false
+}
+
+// DupFault draws the duplication decision for one control message sent
+// to endpoint, returning true when the message should be delivered a
+// second time (late, behind a subsequent send).
+func (in *Injector) DupFault(endpoint int) bool {
+	if in == nil || len(in.plan.Dups) == 0 {
+		return false
+	}
+	prob := 0.0
+	for _, d := range in.plan.Dups {
+		if d.Endpoint != AnyEndpoint && d.Endpoint != endpoint {
+			continue
+		}
+		if d.Prob > prob {
+			prob = d.Prob
+		}
+	}
+	if prob <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	hit := in.rng(endpoint).Float64() < prob
+	in.mu.Unlock()
+	if hit {
+		in.stats.Duplicates.Inc()
+	}
+	return hit
+}
+
+// NoteDupDrop records a duplicated control message the receiver's
+// (src, seq) dedup absorbed.
+func (in *Injector) NoteDupDrop() {
+	if in == nil {
+		return
+	}
+	in.stats.DupDrops.Inc()
+}
+
+// NoteUnreachable records a fabric operation refused because a
+// partition severed the endpoint pair.
+func (in *Injector) NoteUnreachable() {
+	if in == nil {
+		return
+	}
+	in.stats.Unreachables.Inc()
 }

@@ -15,10 +15,21 @@ import (
 //	                       on endpoint EP fails with probability PROB
 //	degrade:EP:FROM-TO:F   pulls of dumps FROM..TO from endpoint EP take
 //	                       F times longer (TO may be * for open-ended)
+//	corrupt:EP:PROB[:OP]   payload byte-flips with probability PROB per
+//	                       transfer on endpoint EP; OP selects the site
+//	                       (pull = wire, heals on re-pull; send = source,
+//	                       stays bad; any = both; default any)
+//	partition:A|B@FROM-TO  bidirectional drop between endpoint groups A
+//	                       and B (comma-separated ids) for dumps FROM..TO
+//	                       (TO may be * for open-ended); both sides stay
+//	                       alive — this is a cut, not a crash
+//	dup:EP:PROB            control messages to EP are duplicated with
+//	                       probability PROB; the copy arrives late, so
+//	                       delivery is duplicated and reordered
 //
 // EP is a fabric endpoint id or * for every endpoint. Example:
 //
-//	transient:*:0.2;crash:9@1;degrade:3:0-2:4
+//	transient:*:0.2;crash:9@1;degrade:3:0-2:4;corrupt:*:0.1:pull;partition:8|9,10@1-2;dup:9:0.3
 func ParsePlan(spec string, seed int64) (Plan, error) {
 	p := Plan{Seed: seed}
 	directives := 0
@@ -40,8 +51,14 @@ func ParsePlan(spec string, seed int64) (Plan, error) {
 			err = parseTransient(&p, rest)
 		case "degrade":
 			err = parseDegrade(&p, rest)
+		case "corrupt":
+			err = parseCorrupt(&p, rest)
+		case "partition":
+			err = parsePartition(&p, rest)
+		case "dup":
+			err = parseDup(&p, rest)
 		default:
-			err = fmt.Errorf("faults: unknown directive %q (want crash|transient|degrade)", kind)
+			err = fmt.Errorf("faults: unknown directive %q (want crash|transient|degrade|corrupt|partition|dup)", kind)
 		}
 		if err != nil {
 			return Plan{}, err
@@ -152,6 +169,107 @@ func parseDegrade(p *Plan, rest string) error {
 	return nil
 }
 
+func parseCorrupt(p *Plan, rest string) error {
+	parts := strings.Split(rest, ":")
+	if len(parts) != 2 && len(parts) != 3 {
+		return fmt.Errorf("faults: corrupt %q wants EP:PROB[:OP]", rest)
+	}
+	ep, err := parseEndpoint(parts[0])
+	if err != nil {
+		return err
+	}
+	prob, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return fmt.Errorf("faults: corrupt probability %q: %v", parts[1], err)
+	}
+	op := OpAny
+	if len(parts) == 3 {
+		switch parts[2] {
+		case "pull":
+			op = OpPull
+		case "send":
+			op = OpSendCtl
+		case "any":
+			op = OpAny
+		default:
+			return fmt.Errorf("faults: corrupt op %q (want pull|send|any)", parts[2])
+		}
+	}
+	p.Corrupts = append(p.Corrupts, Corrupt{Endpoint: ep, Op: op, Prob: prob})
+	return nil
+}
+
+// parseGroup reads a comma-separated list of endpoint ids (one side of
+// a partition). The * wildcard is deliberately rejected: a cut needs
+// two explicit sides.
+func parseGroup(s string) ([]int, error) {
+	if s == "" {
+		return nil, fmt.Errorf("faults: partition group is empty (want comma-separated endpoint ids)")
+	}
+	var g []int
+	for _, f := range strings.Split(s, ",") {
+		ep, err := strconv.Atoi(f)
+		if err != nil || ep < 0 {
+			return nil, fmt.Errorf("faults: partition group member %q must be a non-negative endpoint id", f)
+		}
+		g = append(g, ep)
+	}
+	return g, nil
+}
+
+func parsePartition(p *Plan, rest string) error {
+	groups, windowStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return fmt.Errorf("faults: partition %q wants A|B@FROM-TO", rest)
+	}
+	aStr, bStr, ok := strings.Cut(groups, "|")
+	if !ok {
+		return fmt.Errorf("faults: partition groups %q want A|B (two '|'-separated endpoint lists)", groups)
+	}
+	a, err := parseGroup(aStr)
+	if err != nil {
+		return err
+	}
+	b, err := parseGroup(bStr)
+	if err != nil {
+		return err
+	}
+	fromStr, toStr, ok := strings.Cut(windowStr, "-")
+	if !ok {
+		return fmt.Errorf("faults: partition window %q wants FROM-TO", windowStr)
+	}
+	from, err := strconv.Atoi(fromStr)
+	if err != nil || from < 0 {
+		return fmt.Errorf("faults: partition window start %q must be a non-negative integer", fromStr)
+	}
+	to := -1
+	if toStr != "*" {
+		to, err = strconv.Atoi(toStr)
+		if err != nil || to < from {
+			return fmt.Errorf("faults: partition window end %q must be >= %d or *", toStr, from)
+		}
+	}
+	p.Partitions = append(p.Partitions, Partition{GroupA: a, GroupB: b, FromDump: from, ToDump: to})
+	return nil
+}
+
+func parseDup(p *Plan, rest string) error {
+	epStr, probStr, ok := strings.Cut(rest, ":")
+	if !ok {
+		return fmt.Errorf("faults: dup %q wants EP:PROB", rest)
+	}
+	ep, err := parseEndpoint(epStr)
+	if err != nil {
+		return err
+	}
+	prob, err := strconv.ParseFloat(probStr, 64)
+	if err != nil {
+		return fmt.Errorf("faults: dup probability %q: %v", probStr, err)
+	}
+	p.Dups = append(p.Dups, Dup{Endpoint: ep, Prob: prob})
+	return nil
+}
+
 // String renders the plan back into the ParsePlan format (without the
 // seed, which rides separately).
 func (p Plan) String() string {
@@ -174,6 +292,26 @@ func (p Plan) String() string {
 			to = strconv.Itoa(d.ToDump)
 		}
 		dirs = append(dirs, fmt.Sprintf("degrade:%s:%d-%s:%g", epStr(d.Endpoint), d.FromDump, to, d.Factor))
+	}
+	group := func(g []int) string {
+		parts := make([]string, len(g))
+		for i, ep := range g {
+			parts[i] = strconv.Itoa(ep)
+		}
+		return strings.Join(parts, ",")
+	}
+	for _, c := range p.Corrupts {
+		dirs = append(dirs, fmt.Sprintf("corrupt:%s:%g:%v", epStr(c.Endpoint), c.Prob, c.Op))
+	}
+	for _, pt := range p.Partitions {
+		to := "*"
+		if pt.ToDump >= 0 {
+			to = strconv.Itoa(pt.ToDump)
+		}
+		dirs = append(dirs, fmt.Sprintf("partition:%s|%s@%d-%s", group(pt.GroupA), group(pt.GroupB), pt.FromDump, to))
+	}
+	for _, d := range p.Dups {
+		dirs = append(dirs, fmt.Sprintf("dup:%s:%g", epStr(d.Endpoint), d.Prob))
 	}
 	return strings.Join(dirs, ";")
 }

@@ -121,6 +121,10 @@ func RunElastic(cfg PipelineConfig, ecfg ElasticConfig, computeFn ComputeFunc, o
 	}
 
 	total := cfg.NumCompute + cfg.NumStaging
+	if cfg.FaultPlan != nil && len(cfg.FaultPlan.Partitions) > 0 {
+		return nil, nil, fmt.Errorf(
+			"predata: elastic runs do not support partition faults; quorum fencing requires the fixed-membership pipeline")
+	}
 	inj, err := newPlanInjector(cfg)
 	if err != nil {
 		return nil, nil, err

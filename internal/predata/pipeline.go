@@ -92,6 +92,31 @@ type FaultReport struct {
 	Drops int64
 	// DegradedDumps counts per-rank dump results marked Degraded.
 	DegradedDumps int64
+	// Corruptions counts payload corruptions the injector fired (wire or
+	// source-side). CorruptPulls counts deliveries whose CRC verification
+	// failed on the staging side — each is transparently re-pulled — and
+	// CorruptDrops counts chunks abandoned after the attempt budget
+	// because the source copy itself is damaged.
+	Corruptions  int64
+	CorruptPulls int64
+	CorruptDrops int64
+	// Duplicates counts control messages the injector duplicated;
+	// DupDrops counts the copies receivers suppressed by (src, seq).
+	Duplicates int64
+	DupDrops   int64
+	// Unreachables counts operations refused because a partition severed
+	// the link — distinct from DownRefusals: the peer is alive.
+	Unreachables int64
+	// FencedDumps counts per-rank dumps sat out without a staging
+	// quorum; Heals counts fenced ranks rejoining once their partition
+	// window closed.
+	FencedDumps int64
+	Heals       int64
+	// HedgedPulls counts pulls that armed a second attempt after
+	// exceeding the bandwidth-model deadline; HedgeWins counts races the
+	// hedge attempt won.
+	HedgedPulls int64
+	HedgeWins   int64
 	// CrashedStaging lists the staging indices the plan crashed.
 	CrashedStaging []int
 	// RecoveryWall is the total membership-reconfiguration time.
@@ -178,7 +203,9 @@ type PipelineResult struct {
 	// ClientVisible[rank] is each compute rank's accumulated visible I/O
 	// time over all dumps.
 	ClientVisible []float64
-	// Fault reports injection and recovery activity; nil without a plan.
+	// Fault reports injection and recovery activity. It is nil only when
+	// there was nothing to report: no fault plan and no recovery action
+	// (a plan-free run on a noisy paced fabric still reports its hedges).
 	Fault *FaultReport
 	// Overload reports flow-control activity; nil without a BufferMB
 	// budget.
@@ -319,47 +346,114 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 		}
 		results := make([]*staging.Result, 0, cfg.Dumps)
 		stats := make([]*DumpStats, 0, cfg.Dumps)
-		cur := comm
+		alive := comm
 		prevLive := liveStagingAt(nil, cfg.NumCompute, cfg.NumStaging, 0) // everyone
+		prevActive := prevLive
+		hasPartitions := cfg.FaultPlan != nil && len(cfg.FaultPlan.Partitions) > 0
+		fenced := false
 		epoch := int64(-1)
 		for dump := 0; dump < cfg.Dumps; dump++ {
-			// Crashes are dump-aligned: when the live set changes, the
-			// current staging members collectively shrink the communicator.
-			// The dying rank splits out (color < 0 — MPI_UNDEFINED), drops
-			// off the fabric, and exits cleanly with the dumps it served;
-			// survivors carry on with the crashed rank's writers rehashed
-			// onto them by the shared plan-derived routing.
+			// Membership is dump-aligned and derived from the shared plan.
+			// Crashes shrink the alive communicator: the dying rank splits
+			// out (color < 0 — MPI_UNDEFINED), drops off the fabric, and
+			// exits cleanly with the dumps it served. Partitions fence
+			// alive ranks that cannot reach a staging quorum: the active
+			// communicator — alive minus fenced — is re-split from the
+			// alive one at every membership boundary, so a fenced rank
+			// parks (still answering splits) and rejoins the collective
+			// the moment its window closes.
 			nowLive := liveStagingAt(inj, cfg.NumCompute, cfg.NumStaging, int64(dump))
-			if !slices.Equal(nowLive, prevLive) {
+			nowActive := nowLive
+			if hasPartitions {
+				nowActive = activeStagingAt(inj, cfg.NumCompute, cfg.NumStaging, int64(dump))
+			}
+			if !slices.Equal(nowLive, prevLive) || !slices.Equal(nowActive, prevActive) {
 				recStart := time.Now()
 				rsp := cfg.Tracer.Begin(trace.PhaseRecovery, world.Rank(), -1, int64(dump), -1)
-				color := 0
-				if inj.DownAt(cfg.NumCompute+myIdx, int64(dump)) {
-					color = -1
-				}
-				sub, err := cur.Split(color, myIdx)
-				if err != nil {
-					rsp.End(0)
-					return fmt.Errorf("staging rank %d shrink at dump %d: %w", myIdx, dump, err)
-				}
-				if color < 0 {
-					if err := fab.FailEndpoint(world.Rank()); err != nil {
-						rsp.End(0)
-						return err
+				if !slices.Equal(nowLive, prevLive) {
+					color := 0
+					if inj.DownAt(cfg.NumCompute+myIdx, int64(dump)) {
+						color = -1
 					}
-					cfg.Tracer.Instant(trace.PhaseCrashExit, world.Rank(), -1, int64(dump), int64(len(results)), 0)
-					rsp.End(0)
-					//predata:vet-ignore collectivecheck dump-aligned crash: this rank split out with color<0, so survivors' collectives use the shrunk communicator that excludes it
-					break
+					sub, err := alive.Split(color, myIdx)
+					if err != nil {
+						rsp.End(0)
+						return fmt.Errorf("staging rank %d shrink at dump %d: %w", myIdx, dump, err)
+					}
+					if color < 0 {
+						if err := fab.FailEndpoint(world.Rank()); err != nil {
+							rsp.End(0)
+							return err
+						}
+						cfg.Tracer.Instant(trace.PhaseCrashExit, world.Rank(), -1, int64(dump), int64(len(results)), 0)
+						rsp.End(0)
+						//predata:vet-ignore collectivecheck dump-aligned crash: this rank split out with color<0, so survivors' collectives use the shrunk communicator that excludes it
+						break
+					}
+					alive = sub
 				}
-				cur = sub
+				active := alive
+				amActive := contains(nowActive, myIdx)
+				if hasPartitions {
+					// Dump-aligned probe: how many live peers this rank
+					// reaches, and whether that is a strict majority.
+					reach := int64(0)
+					for _, j := range nowLive {
+						if j == myIdx || !inj.Unreachable(cfg.NumCompute+myIdx, cfg.NumCompute+j, int64(dump)) {
+							reach++
+						}
+					}
+					quorum := int64(0)
+					if amActive {
+						quorum = 1
+					}
+					cfg.Tracer.Instant(trace.PhaseProbe, world.Rank(), -1, int64(dump), reach, quorum)
+					fcolor := 0
+					if !amActive {
+						fcolor = 1
+					}
+					sub, err := alive.Split(fcolor, myIdx)
+					if err != nil {
+						rsp.End(0)
+						return fmt.Errorf("staging rank %d fence split at dump %d: %w", myIdx, dump, err)
+					}
+					active = sub
+				}
 				epoch++
-				if err := server.Reconfigure(cur, epoch, time.Since(recStart)); err != nil {
-					rsp.End(0)
-					return fmt.Errorf("staging rank %d reconfigure at dump %d: %w", myIdx, dump, err)
+				if amActive {
+					if fenced {
+						// Heal: the membership epoch advanced past the
+						// fence window, and every in-window request census
+						// excluded this rank, so nothing it serves from
+						// here on can double-process a chunk.
+						cfg.Tracer.Instant(trace.PhaseHeal, world.Rank(), -1, int64(dump), epoch, 0)
+						reportMu.Lock()
+						report.Heals++
+						reportMu.Unlock()
+						fenced = false
+					}
+					if err := server.Reconfigure(active, epoch, time.Since(recStart)); err != nil {
+						rsp.End(0)
+						return fmt.Errorf("staging rank %d reconfigure at dump %d: %w", myIdx, dump, err)
+					}
+				} else {
+					fenced = true
 				}
-				rsp.End(int64(len(nowLive)))
-				prevLive = nowLive
+				rsp.End(int64(len(nowActive)))
+				prevLive, prevActive = nowLive, nowActive
+			}
+			if fenced {
+				// Sat out: alive but without quorum. Placeholder entries
+				// keep dump indices aligned across ranks for downstream
+				// consumers; marked Degraded because this rank reduced
+				// nothing for the dump (its writers rerouted to the
+				// quorum side).
+				results = append(results, &staging.Result{
+					PerOperator: map[string]map[string]any{},
+					Degraded:    true,
+				})
+				stats = append(stats, &DumpStats{Fenced: true, Degraded: true})
+				continue
 			}
 			r, st, err := server.ServeDump(int64(dump), opsFor(dump))
 			if err != nil {
@@ -406,6 +500,16 @@ func newPlanInjector(cfg PipelineConfig) (*faults.Injector, error) {
 	if len(crashed) >= cfg.NumStaging {
 		return nil, fmt.Errorf("predata: plan crashes all %d staging ranks", cfg.NumStaging)
 	}
+	for _, pt := range cfg.FaultPlan.Partitions {
+		for _, g := range [][]int{pt.GroupA, pt.GroupB} {
+			for _, ep := range g {
+				if ep >= total {
+					return nil, fmt.Errorf(
+						"predata: partition endpoint %d is outside the job's %d endpoints", ep, total)
+				}
+			}
+		}
+	}
 	return inj, nil
 }
 
@@ -416,6 +520,10 @@ func finishReports(cfg *PipelineConfig, inj *faults.Injector, report *FaultRepor
 		ist := inj.Stats()
 		report.InjectedTransients = ist.Transients.Value()
 		report.DownRefusals = ist.DownRefusals.Value()
+		report.Corruptions = ist.Corruptions.Value()
+		report.Duplicates = ist.Duplicates.Value()
+		report.DupDrops = ist.DupDrops.Value()
+		report.Unreachables = ist.Unreachables.Value()
 		seen := map[int]bool{}
 		for _, c := range cfg.FaultPlan.Crashes {
 			if !seen[c.Endpoint] {
@@ -424,17 +532,31 @@ func finishReports(cfg *PipelineConfig, inj *faults.Injector, report *FaultRepor
 			}
 		}
 		sort.Ints(report.CrashedStaging)
-		for _, rankStats := range res.StagingStats {
-			for _, st := range rankStats {
-				report.Retries += int64(st.Retries)
-				report.Redistributed += int64(st.Redistributed)
-				report.Drops += int64(st.Drops)
-				if st.Degraded {
-					report.DegradedDumps++
-				}
-				report.RecoveryWall += st.RecoveryWall
+	}
+	for _, rankStats := range res.StagingStats {
+		for _, st := range rankStats {
+			report.Retries += int64(st.Retries)
+			report.Redistributed += int64(st.Redistributed)
+			report.Drops += int64(st.Drops)
+			report.CorruptPulls += int64(st.CorruptPulls)
+			report.CorruptDrops += int64(st.CorruptDrops)
+			report.HedgedPulls += int64(st.HedgedPulls)
+			report.HedgeWins += int64(st.HedgeWins)
+			if st.Fenced {
+				report.FencedDumps++
 			}
+			if st.Degraded {
+				report.DegradedDumps++
+			}
+			report.RecoveryWall += st.RecoveryWall
 		}
+	}
+	// The report surfaces whenever there is anything to report: always
+	// under an injector, but also on plan-free runs where the recovery
+	// layer still acted — e.g. hedged pulls against a noisy paced fabric,
+	// which are straggler protection, not a response to injected faults.
+	if inj != nil || report.Retries != 0 || report.HedgedPulls != 0 ||
+		report.Drops != 0 || report.Redistributed != 0 || report.DegradedDumps != 0 {
 		res.Fault = report
 	}
 	if cfg.BufferMB > 0 {

@@ -211,10 +211,14 @@ func (c *Client) Write(schema *ffs.Schema, rec ffs.Record, timestep int64) (time
 	}
 	full[fieldRank] = int64(c.cfg.WriterRank)
 	full[fieldTimestep] = timestep
-	buf, err := ffs.Encode(packed, full)
+	enc, err := ffs.Encode(packed, full)
 	if err != nil {
 		return 0, fmt.Errorf("predata: pack: %w", err)
 	}
+	// Seal at encode: the CRC frame travels through the fabric untouched
+	// and is verified on the staging side before anything reduces the
+	// chunk, so corruption anywhere along the path is caught end to end.
+	buf := staging.Seal(enc)
 	c.cfg.Endpoint.SetEpoch(timestep)
 	h := c.cfg.Endpoint.Expose(buf)
 	var idx int
@@ -365,6 +369,20 @@ type DumpStats struct {
 	// Drops counts chunks lost because their endpoint crashed before the
 	// pull; the dump still completes, marked Degraded.
 	Drops int
+	// CorruptPulls counts deliveries whose CRC verification failed (each
+	// is transparently re-pulled within the attempt budget).
+	CorruptPulls int
+	// CorruptDrops counts chunks abandoned because every re-pull returned
+	// damaged bytes — the source copy is bad. The chunk falls through to
+	// the shed ladder: the dump completes without it, marked Degraded.
+	CorruptDrops int
+	// HedgedPulls counts pulls that exceeded the bandwidth-model deadline
+	// and launched a hedge attempt; HedgeWins counts races the hedge won.
+	HedgedPulls int
+	HedgeWins   int
+	// Fenced marks a dump this rank sat out because a partition cut it
+	// off from the staging quorum: alive, but not serving.
+	Fenced bool
 	// Degraded mirrors the dump result's Degraded mark.
 	Degraded bool
 	// RecoveryWall is the time this rank spent reconfiguring membership
@@ -469,7 +487,8 @@ func (s *Server) servedAt(timestep int64) ([]int, error) {
 		s.servedBy[timestep] = served
 		return served, nil
 	}
-	if s.cfg.Faults == nil || len(s.cfg.Faults.Plan().Crashes) == 0 {
+	if s.cfg.Faults == nil ||
+		(len(s.cfg.Faults.Plan().Crashes) == 0 && len(s.cfg.Faults.Plan().Partitions) == 0) {
 		return s.served, nil
 	}
 	if cached, ok := s.servedBy[timestep]; ok {
@@ -540,8 +559,10 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 		// control-plane events all group under this timestep.
 		s.cfg.Comm.SetTraceDump(timestep)
 		s.cfg.Engine.SetTraceDump(timestep)
-		s.cfg.Endpoint.SetEpoch(timestep)
 	}
+	// The endpoint epoch always tracks the dump: partition windows key
+	// off it for control-plane sends, tracer or not.
+	s.cfg.Endpoint.SetEpoch(timestep)
 
 	// Stage 2a: gather fetch requests from every served compute rank.
 	// Under fault injection the gather is deadline-bound: the staging
@@ -559,6 +580,14 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	}
 	reqs := s.pending[timestep]
 	delete(s.pending, timestep)
+	got := make(map[int]bool, len(served))
+	for _, r := range reqs {
+		got[r.WriterRank] = true
+	}
+	servedSet := make(map[int]bool, len(served))
+	for _, w := range served {
+		servedSet[w] = true
+	}
 	for len(reqs) < len(served) {
 		req, err := s.recvRequest(deadline, stats)
 		if err != nil {
@@ -567,23 +596,22 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 		}
 		if req.Timestep == timestep {
 			reqs = append(reqs, req)
+			got[req.WriterRank] = true
 			continue
 		}
 		s.pending[req.Timestep] = append(s.pending[req.Timestep], req)
-		// Clients send dump requests in timestep order and the fabric
-		// preserves per-sender ordering, so a *complete* dump buffered for
-		// another timestep means the requested one will never arrive:
-		// fail fast instead of deadlocking the staging area.
-		other, err := s.servedAt(req.Timestep)
-		if err != nil {
-			sp.End(0)
-			return nil, nil, err
-		}
-		if exp := len(other); exp > 0 && len(s.pending[req.Timestep]) >= exp {
+		// Each client sends its dump requests in timestep order and the
+		// fabric preserves per-sender ordering, so a writer this dump
+		// still awaits that has already delivered a *later* timestep here
+		// will never deliver this one — its request went to another rank
+		// under a diverged census. Fail fast instead of deadlocking the
+		// collective staging area. (A writer served elsewhere this dump
+		// may freely race ahead; only the awaited ones are checked.)
+		if req.Timestep > timestep && servedSet[req.WriterRank] && !got[req.WriterRank] {
 			sp.End(0)
 			return nil, nil, fmt.Errorf(
-				"predata: ServeDump(%d) but all %d served ranks sent timestep %d",
-				timestep, exp, req.Timestep)
+				"predata: ServeDump(%d) still awaits writer %d's request, but it already sent timestep %d",
+				timestep, req.WriterRank, req.Timestep)
 		}
 	}
 	stats.Requests = len(reqs)
@@ -766,6 +794,18 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 							req.WriterRank, req.Timestep, int64(req.WriterRank), 0)
 						continue
 					}
+					// A source that stays corrupt after the re-pull budget is
+					// shed like an overloaded chunk: the bad bytes must never
+					// reach Reduce, so the dump completes without them,
+					// explicitly Degraded.
+					if errors.Is(err, staging.ErrCorrupt) {
+						pullMu.Lock()
+						stats.CorruptDrops++
+						pullMu.Unlock()
+						s.cfg.Tracer.Instant(trace.PhaseCorruptDrop, s.cfg.Endpoint.ID(),
+							req.WriterRank, req.Timestep, int64(req.WriterRank), 0)
+						continue
+					}
 					s.recordPullErr(&pullMu, &pullErr,
 						fmt.Errorf("predata: pull from rank %d: %w", req.WriterRank, err))
 					continue
@@ -829,10 +869,10 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	if err != nil {
 		return nil, stats, err
 	}
-	res.Degraded = res.Degraded || stats.Drops > 0 ||
+	res.Degraded = res.Degraded || stats.Drops > 0 || stats.CorruptDrops > 0 ||
 		(stats.Overload != nil && stats.Overload.PassedChunks > 0) ||
 		(s.cfg.Faults != nil &&
-			len(liveStagingAt(s.cfg.Faults, s.cfg.StagingBase, s.cfg.NumStaging, timestep)) < s.cfg.NumStaging)
+			len(activeStagingAt(s.cfg.Faults, s.cfg.StagingBase, s.cfg.NumStaging, timestep)) < s.cfg.NumStaging)
 	stats.Degraded = res.Degraded
 	return res, stats, nil
 }
@@ -927,15 +967,46 @@ func (s *Server) recvRequest(deadline time.Time, stats *DumpStats) (FetchRequest
 	}
 }
 
-// pullWithRetry pulls one chunk, retrying injected transient faults with
-// capped exponential backoff within the attempt budget. ctx bounds each
-// pull's deferred-phase wait (background ctx preserves the fault-free
-// contract of blocking until the watchdog intervenes).
+// pullWithRetry pulls one chunk end-to-end verified: the transfer uses
+// the non-consuming PullRetain, the delivered frame's CRC is checked
+// before anything downstream sees the bytes, and the source region is
+// acknowledged (released) only after verification. Injected transients
+// *and* corrupted deliveries are retried with capped exponential
+// backoff within the attempt budget — wire corruption heals on re-pull
+// because the source still holds the intact region. A source that stays
+// corrupt exhausts the budget and surfaces staging.ErrCorrupt for the
+// caller's shed path. ctx bounds each pull's deferred-phase wait
+// (background ctx preserves the fault-free contract of blocking until
+// the watchdog intervenes).
 func (s *Server) pullWithRetry(ctx context.Context, req FetchRequest, stats *DumpStats, mu *sync.Mutex) ([]byte, time.Duration, error) {
 	for attempt := 0; ; attempt++ {
-		buf, d, err := s.cfg.Endpoint.PullContext(ctx, req.Handle)
-		if err == nil || !errors.Is(err, faults.ErrTransient) || attempt+1 >= s.retry.MaxAttempts {
-			return buf, d, err
+		buf, d, err := s.hedgedPull(ctx, req, stats, mu)
+		if err == nil {
+			payload, perr := staging.Unseal(buf)
+			if perr == nil {
+				if aerr := s.cfg.Endpoint.Ack(req.Handle); aerr != nil {
+					return nil, 0, aerr
+				}
+				return payload, d, nil
+			}
+			mu.Lock()
+			stats.CorruptPulls++
+			mu.Unlock()
+			s.cfg.Tracer.Instant(trace.PhaseCorruptDetect, s.cfg.Endpoint.ID(),
+				req.Handle.Endpoint, req.Timestep, int64(req.WriterRank), int64(attempt))
+			err = fmt.Errorf("predata: chunk from rank %d attempt %d: %w", req.WriterRank, attempt, perr)
+		} else if !errors.Is(err, faults.ErrTransient) {
+			return nil, 0, err
+		}
+		if attempt+1 >= s.retry.MaxAttempts {
+			if errors.Is(err, staging.ErrCorrupt) {
+				// Every attempt delivered damaged bytes: the source copy is
+				// bad and re-pulling cannot help. Release the region so the
+				// writer's exposed-bytes accounting drains; the caller sheds
+				// the chunk.
+				_ = s.cfg.Endpoint.Ack(req.Handle)
+			}
+			return nil, 0, err
 		}
 		mu.Lock()
 		stats.Retries++
@@ -944,6 +1015,89 @@ func (s *Server) pullWithRetry(ctx context.Context, req FetchRequest, stats *Dum
 			req.Timestep, int64(attempt), 0)
 		time.Sleep(s.retry.backoff(attempt))
 	}
+}
+
+// hedgedPull is one transfer attempt with straggler protection: when
+// the primary pull exceeds a deadline derived from the fabric's
+// bandwidth model (HedgeFactor x the idle-fabric wall estimate), a
+// second attempt is launched against the same retained region — the
+// source still holds the bytes, so the duplicate pull is safe — and the
+// first result wins while the loser is cancelled via its context.
+// Hedging engages only on a paced fabric; otherwise this is a plain
+// PullRetain.
+func (s *Server) hedgedPull(ctx context.Context, req FetchRequest, stats *DumpStats, mu *sync.Mutex) ([]byte, time.Duration, error) {
+	if s.retry.HedgeFactor < 0 {
+		return s.cfg.Endpoint.PullRetain(ctx, req.Handle)
+	}
+	_, wall := s.cfg.Endpoint.PullEstimate(req.Handle.Size)
+	if wall <= 0 {
+		return s.cfg.Endpoint.PullRetain(ctx, req.Handle)
+	}
+	delay := time.Duration(float64(wall) * s.retry.HedgeFactor)
+	if delay < s.retry.HedgeFloor {
+		delay = s.retry.HedgeFloor
+	}
+	type result struct {
+		buf   []byte
+		d     time.Duration
+		err   error
+		hedge bool
+	}
+	pctx, cancelPrimary := context.WithCancel(ctx)
+	defer cancelPrimary()
+	hctx, cancelHedge := context.WithCancel(ctx)
+	defer cancelHedge()
+	ch := make(chan result, 2)
+	go func() {
+		buf, d, err := s.cfg.Endpoint.PullRetain(pctx, req.Handle)
+		ch <- result{buf, d, err, false}
+	}()
+	timer := time.NewTimer(delay)
+	var first result
+	select {
+	case first = <-ch:
+		timer.Stop()
+		return first.buf, first.d, first.err
+	case <-timer.C:
+	}
+	// The primary blew its bandwidth-model deadline: race a hedge
+	// against it on the retained region.
+	mu.Lock()
+	stats.HedgedPulls++
+	mu.Unlock()
+	s.cfg.Tracer.Instant(trace.PhaseHedge, s.cfg.Endpoint.ID(), req.Handle.Endpoint,
+		req.Timestep, int64(req.WriterRank), 0)
+	go func() {
+		buf, d, err := s.cfg.Endpoint.PullRetain(hctx, req.Handle)
+		ch <- result{buf, d, err, true}
+	}()
+	res := <-ch
+	if res.err != nil {
+		// The first finisher lost to an error; the race is decided by the
+		// remaining attempt (its context stays live until it reports).
+		if other := <-ch; other.err == nil {
+			res = other
+		}
+	} else {
+		// First clean finisher wins: cancel the loser and join it, so no
+		// attempt outlives the race.
+		if res.hedge {
+			cancelPrimary()
+		} else {
+			cancelHedge()
+		}
+		<-ch
+	}
+	hedgeWon := int64(0)
+	if res.hedge && res.err == nil {
+		hedgeWon = 1
+		mu.Lock()
+		stats.HedgeWins++
+		mu.Unlock()
+	}
+	s.cfg.Tracer.Instant(trace.PhaseHedgeCancel, s.cfg.Endpoint.ID(), req.Handle.Endpoint,
+		req.Timestep, int64(req.WriterRank), hedgeWon)
+	return res.buf, res.d, res.err
 }
 
 // recordPullErr stores the first pull failure.

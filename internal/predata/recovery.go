@@ -22,6 +22,17 @@ type RetryPolicy struct {
 	// DumpDeadline caps the wall time one ServeDump may spend gathering
 	// fetch requests (including transient-retry loops).
 	DumpDeadline time.Duration
+	// HedgeFactor arms hedged pulls: when a chunk pull has taken longer
+	// than HedgeFactor times its bandwidth-model estimate (floored at
+	// HedgeFloor), a second attempt is launched against the retained
+	// source region and the loser is cancelled via context. Zero selects
+	// the default factor; negative disables hedging. Hedging only
+	// engages on a paced fabric — without pacing a pull completes at
+	// memory speed and there is no straggler to hedge against.
+	HedgeFactor float64
+	// HedgeFloor is the minimum wall delay before a hedge fires, so tiny
+	// chunks do not hedge on scheduling noise. Zero selects the default.
+	HedgeFloor time.Duration
 }
 
 // DefaultRetryPolicy returns the policy used when a field is zero.
@@ -31,6 +42,8 @@ func DefaultRetryPolicy() RetryPolicy {
 		BaseDelay:    200 * time.Microsecond,
 		MaxDelay:     10 * time.Millisecond,
 		DumpDeadline: 30 * time.Second,
+		HedgeFactor:  4,
+		HedgeFloor:   2 * time.Millisecond,
 	}
 }
 
@@ -48,6 +61,12 @@ func (p RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if p.DumpDeadline <= 0 {
 		p.DumpDeadline = d.DumpDeadline
+	}
+	if p.HedgeFactor == 0 {
+		p.HedgeFactor = d.HedgeFactor
+	}
+	if p.HedgeFloor <= 0 {
+		p.HedgeFloor = d.HedgeFloor
 	}
 	return p
 }
@@ -86,19 +105,87 @@ func liveStagingAt(inj *faults.Injector, stagingBase, numStaging int, dump int64
 	return live
 }
 
+// stagingQuorumAt reports whether live staging index i can reach a
+// strict majority of the live staging set (itself included) at dump —
+// the dump-aligned probe/quorum decision. A rank partitioned away from
+// the majority is *fenced* for the window: it is alive but must not
+// serve, or the two sides of the cut would run split-brain dumps
+// against the same membership epoch.
+func stagingQuorumAt(inj *faults.Injector, stagingBase int, live []int, i int, dump int64) bool {
+	reach := 0
+	for _, j := range live {
+		if j == i || !inj.Unreachable(stagingBase+i, stagingBase+j, dump) {
+			reach++
+		}
+	}
+	return reach*2 > len(live)
+}
+
+// activeStagingAt returns the staging indices that serve dumps at dump:
+// the live (uncrashed) set, minus ranks a partition fences away from
+// the staging-side quorum. With no partitions in the plan it is exactly
+// liveStagingAt, so crash-only schedules keep their behavior.
+func activeStagingAt(inj *faults.Injector, stagingBase, numStaging int, dump int64) []int {
+	live := liveStagingAt(inj, stagingBase, numStaging, dump)
+	if inj == nil || len(inj.Plan().Partitions) == 0 {
+		return live
+	}
+	active := make([]int, 0, len(live))
+	for _, i := range live {
+		if stagingQuorumAt(inj, stagingBase, live, i, dump) {
+			active = append(active, i)
+		}
+	}
+	return active
+}
+
 // effectiveRoute resolves the staging index serving writerRank at dump,
 // rehashing onto the surviving ranks when the primary's endpoint has
-// crashed. Both sides of the fabric derive membership from the same
-// shared fault plan, so producers and survivors agree on each dump's
-// request census without running a membership protocol.
+// crashed, and walking past staging ranks the writer cannot reach (or
+// that are fenced without quorum) when a partition cuts the link. Both
+// sides of the fabric derive membership from the same shared fault plan
+// — the modeled equivalent of a dump-aligned probe — so producers and
+// survivors agree on each dump's request census without running a
+// membership protocol. The conventional layout is assumed: writer rank
+// r lives at fabric endpoint r.
 func effectiveRoute(route RouteFunc, inj *faults.Injector, writerRank, numCompute, numStaging, stagingBase int, dump int64) (idx int, rerouted bool, err error) {
 	primary := route(writerRank, numCompute, numStaging)
-	if !inj.DownAt(stagingBase+primary, dump) {
+	if inj == nil {
 		return primary, false, nil
 	}
-	live := liveStagingAt(inj, stagingBase, numStaging, dump)
-	if len(live) == 0 {
-		return 0, false, fmt.Errorf("predata: no staging rank alive at dump %d: %w", dump, faults.ErrEndpointDown)
+	active := activeStagingAt(inj, stagingBase, numStaging, dump)
+	if len(active) == 0 {
+		if len(liveStagingAt(inj, stagingBase, numStaging, dump)) == 0 {
+			return 0, false, fmt.Errorf("predata: no staging rank alive at dump %d: %w", dump, faults.ErrEndpointDown)
+		}
+		return 0, false, fmt.Errorf("predata: no staging rank holds quorum at dump %d (partition split the staging area evenly): %w",
+			dump, faults.ErrUnreachable)
 	}
-	return live[primary%len(live)], true, nil
+	reachable := func(i int) bool {
+		return !inj.Unreachable(writerRank, stagingBase+i, dump)
+	}
+	if contains(active, primary) && reachable(primary) {
+		return primary, false, nil
+	}
+	// Walk the active set starting from the crash-rehash position, so
+	// crash-only plans land exactly where they always did, and a writer
+	// partitioned from that rank slides to the next reachable one.
+	start := primary % len(active)
+	for k := 0; k < len(active); k++ {
+		c := active[(start+k)%len(active)]
+		if reachable(c) {
+			return c, c != primary, nil
+		}
+	}
+	return 0, false, fmt.Errorf("predata: writer %d cannot reach any active staging rank at dump %d: %w",
+		writerRank, dump, faults.ErrUnreachable)
+}
+
+func contains(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }

@@ -1,0 +1,59 @@
+package staging
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestSealUnsealRoundTrip(t *testing.T) {
+	for _, payload := range [][]byte{
+		[]byte("particle chunk bytes"),
+		{},
+		bytes.Repeat([]byte{0xAB}, 1<<16),
+	} {
+		sealed := Seal(payload)
+		if !Sealed(sealed) {
+			t.Fatal("sealed frame not recognized")
+		}
+		got, err := Unseal(sealed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatal("round trip changed payload")
+		}
+	}
+	if Sealed([]byte("not a frame")) {
+		t.Error("raw bytes recognized as sealed")
+	}
+}
+
+func TestUnsealDetectsEveryByteFlip(t *testing.T) {
+	payload := []byte("every single byte of this frame is covered")
+	sealed := Seal(payload)
+	for i := range sealed {
+		bad := make([]byte, len(sealed))
+		copy(bad, sealed)
+		bad[i] ^= 0xFF
+		if _, err := Unseal(bad); !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("flip at byte %d: got %v, want ErrCorrupt", i, err)
+		}
+	}
+	// Truncation is corruption too.
+	if _, err := Unseal(sealed[:len(sealed)-1]); !errors.Is(err, ErrCorrupt) {
+		t.Error("truncated payload accepted")
+	}
+	if _, err := Unseal(sealed[:4]); !errors.Is(err, ErrCorrupt) {
+		t.Error("truncated header accepted")
+	}
+}
+
+func TestSealDoesNotAliasInput(t *testing.T) {
+	payload := []byte("mutate me after sealing")
+	sealed := Seal(payload)
+	payload[0] ^= 0xFF
+	if _, err := Unseal(sealed); err != nil {
+		t.Fatalf("mutating the input after Seal broke the frame: %v", err)
+	}
+}

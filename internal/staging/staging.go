@@ -439,6 +439,16 @@ func (e *Engine) ProcessDump(comm *mpi.Comm, chunks <-chan *Chunk, ops []Operato
 // reserved field names "_rank" and "_timestep" (the predata compute
 // runtime adds them when packing).
 func DecodeChunk(buf []byte) (*Chunk, error) {
+	// The pipeline unseals right after the pull, so buf is normally a raw
+	// FFS frame here; accepting a still-sealed chunk (verifying it in
+	// passing) keeps direct callers honest without a second API.
+	if Sealed(buf) {
+		payload, err := Unseal(buf)
+		if err != nil {
+			return nil, err
+		}
+		buf = payload
+	}
 	schema, rec, err := ffs.Decode(buf)
 	if err != nil {
 		return nil, err

@@ -32,9 +32,12 @@ type chromeDoc struct {
 func phaseCat(p Phase) string {
 	switch p {
 	case PhaseWrite, PhasePull, PhaseRecvCtl, PhaseSendCtl, PhaseFault,
-		PhaseEndpointDown, PhaseRefusal, PhaseRetry, PhaseReroute:
+		PhaseEndpointDown, PhaseRefusal, PhaseRetry, PhaseReroute,
+		PhaseCorrupt, PhaseDupDrop, PhaseUnreachable:
 		return "fabric"
-	case PhaseGather, PhaseAggregate, PhaseRecovery, PhaseCrashExit, PhaseDrop:
+	case PhaseGather, PhaseAggregate, PhaseRecovery, PhaseCrashExit, PhaseDrop,
+		PhaseCorruptDetect, PhaseCorruptDrop, PhaseProbe, PhaseHeal,
+		PhaseHedge, PhaseHedgeCancel:
 		return "pipeline"
 	case PhaseScale, PhaseScaleEpoch, PhaseHandoff, PhaseDrain:
 		return "elastic"

@@ -54,67 +54,85 @@ const (
 	PhaseThrottle   // flowctl: Acquire blocked waiting for budget
 
 	// Instant phases.
-	PhaseCollective   // mpi: collective call (Endpoint = op code, Seq = collective seq, Arg = comm id)
-	PhaseSendCtl      // fabric: control message sent (Endpoint = destination)
-	PhaseRetry        // predata: transient failure retried (Seq = attempt)
-	PhaseFault        // fabric: injected transient fault fired
-	PhaseEndpointDown // fabric: endpoint declared failed
-	PhaseRefusal      // fabric: operation refused because the peer is down
-	PhaseReroute      // predata client: write rerouted off a down server
-	PhaseSpill        // flowctl: chunk spilled to disk (Arg = bytes)
-	PhasePass         // flowctl: chunk passed through unanalyzed (Arg = bytes)
-	PhaseShed         // flowctl: shed decision (Arg = 1 kept as sample, 0 dropped)
-	PhaseReplay       // flowctl: spilled chunk replayed (Seq = writer, Arg = bytes)
-	PhaseLease        // flowctl: budget movement (Arg = signed delta, Seq = used bytes after)
-	PhaseBudgetCap    // flowctl: budget capacity announcement (Arg = capacity bytes)
-	PhaseOverload     // flowctl: overload latch transition (Arg = 1 latched, 0 released)
-	PhaseChunk        // engine: chunk retired after Map (Seq = writer, Arg = shed class)
-	PhaseCrashExit    // pipeline: rank leaves the job on an injected crash
-	PhaseDrop         // staging: chunk lost to a crashed writer endpoint (Endpoint = writer, Seq = writer)
-	PhaseScale        // elastic: autoscale decision (Endpoint = direction, Dump = first dump affected, Seq = epoch, Arg = target ranks)
-	PhaseScaleEpoch   // elastic: resize epoch installed (Endpoint = active count, Dump = first dump of epoch, Seq = epoch, Arg = active-index bitmask)
-	PhaseHandoff      // elastic: DataSpaces shard handoff at a resize (Seq = epoch, Arg = cells moved)
-	PhaseDrain        // elastic: span — retiring rank flushes leases/spill before going silent (Seq = epoch, Arg = bytes outstanding at entry)
+	PhaseCollective    // mpi: collective call (Endpoint = op code, Seq = collective seq, Arg = comm id)
+	PhaseSendCtl       // fabric: control message sent (Endpoint = destination)
+	PhaseRetry         // predata: transient failure retried (Seq = attempt)
+	PhaseFault         // fabric: injected transient fault fired
+	PhaseEndpointDown  // fabric: endpoint declared failed
+	PhaseRefusal       // fabric: operation refused because the peer is down
+	PhaseReroute       // predata client: write rerouted off a down server
+	PhaseSpill         // flowctl: chunk spilled to disk (Arg = bytes)
+	PhasePass          // flowctl: chunk passed through unanalyzed (Arg = bytes)
+	PhaseShed          // flowctl: shed decision (Arg = 1 kept as sample, 0 dropped)
+	PhaseReplay        // flowctl: spilled chunk replayed (Seq = writer, Arg = bytes)
+	PhaseLease         // flowctl: budget movement (Arg = signed delta, Seq = used bytes after)
+	PhaseBudgetCap     // flowctl: budget capacity announcement (Arg = capacity bytes)
+	PhaseOverload      // flowctl: overload latch transition (Arg = 1 latched, 0 released)
+	PhaseChunk         // engine: chunk retired after Map (Seq = writer, Arg = shed class)
+	PhaseCrashExit     // pipeline: rank leaves the job on an injected crash
+	PhaseDrop          // staging: chunk lost to a crashed writer endpoint (Endpoint = writer, Seq = writer)
+	PhaseScale         // elastic: autoscale decision (Endpoint = direction, Dump = first dump affected, Seq = epoch, Arg = target ranks)
+	PhaseScaleEpoch    // elastic: resize epoch installed (Endpoint = active count, Dump = first dump of epoch, Seq = epoch, Arg = active-index bitmask)
+	PhaseHandoff       // elastic: DataSpaces shard handoff at a resize (Seq = epoch, Arg = cells moved)
+	PhaseDrain         // elastic: span — retiring rank flushes leases/spill before going silent (Seq = epoch, Arg = bytes outstanding at entry)
+	PhaseCorrupt       // fabric: injected payload bit-flip (Endpoint = data owner, Arg = byte offset)
+	PhaseCorruptDetect // predata: CRC verify failed on a pulled chunk (Endpoint = source, Seq = writer, Arg = attempt)
+	PhaseCorruptDrop   // predata: chunk abandoned after corrupt re-pulls exhausted (Endpoint = writer, Seq = writer)
+	PhaseDupDrop       // fabric: duplicated control message absorbed by (src, seq) dedup (Endpoint = src, Arg = seq)
+	PhaseUnreachable   // fabric: operation refused because a partition severs the pair (Endpoint = peer)
+	PhaseProbe         // predata: dump-aligned reachability probe verdict (Seq = live peers reached, Arg = 1 quorum held, 0 fenced)
+	PhaseHeal          // predata: fenced rank rejoined the serving set (Seq = epoch installed)
+	PhaseHedge         // predata: hedged pull launched (Endpoint = source, Seq = writer)
+	PhaseHedgeCancel   // predata: hedge race resolved, losing attempt cancelled (Endpoint = source, Seq = writer, Arg = 1 hedge won)
 )
 
 // phaseNames maps phases to stable lowercase names used by the Chrome
 // exporter and the predata-trace dumper.
 var phaseNames = [...]string{
-	PhaseInvalid:      "invalid",
-	PhaseWrite:        "write",
-	PhasePull:         "pull",
-	PhaseRecvCtl:      "recv-ctl",
-	PhaseGather:       "gather",
-	PhaseAggregate:    "aggregate",
-	PhaseInitialize:   "initialize",
-	PhaseMap:          "map",
-	PhaseCombine:      "combine",
-	PhaseShuffle:      "shuffle",
-	PhaseReduce:       "reduce",
-	PhaseFinalize:     "finalize",
-	PhaseRecovery:     "recovery",
-	PhaseThrottle:     "throttle",
-	PhaseCollective:   "collective",
-	PhaseSendCtl:      "send-ctl",
-	PhaseRetry:        "retry",
-	PhaseFault:        "fault",
-	PhaseEndpointDown: "endpoint-down",
-	PhaseRefusal:      "refusal",
-	PhaseReroute:      "reroute",
-	PhaseSpill:        "spill",
-	PhasePass:         "pass",
-	PhaseShed:         "shed",
-	PhaseReplay:       "replay",
-	PhaseLease:        "lease",
-	PhaseBudgetCap:    "budget-cap",
-	PhaseOverload:     "overload",
-	PhaseChunk:        "chunk",
-	PhaseCrashExit:    "crash-exit",
-	PhaseDrop:         "drop",
-	PhaseScale:        "scale",
-	PhaseScaleEpoch:   "scale-epoch",
-	PhaseHandoff:      "handoff",
-	PhaseDrain:        "drain",
+	PhaseInvalid:       "invalid",
+	PhaseWrite:         "write",
+	PhasePull:          "pull",
+	PhaseRecvCtl:       "recv-ctl",
+	PhaseGather:        "gather",
+	PhaseAggregate:     "aggregate",
+	PhaseInitialize:    "initialize",
+	PhaseMap:           "map",
+	PhaseCombine:       "combine",
+	PhaseShuffle:       "shuffle",
+	PhaseReduce:        "reduce",
+	PhaseFinalize:      "finalize",
+	PhaseRecovery:      "recovery",
+	PhaseThrottle:      "throttle",
+	PhaseCollective:    "collective",
+	PhaseSendCtl:       "send-ctl",
+	PhaseRetry:         "retry",
+	PhaseFault:         "fault",
+	PhaseEndpointDown:  "endpoint-down",
+	PhaseRefusal:       "refusal",
+	PhaseReroute:       "reroute",
+	PhaseSpill:         "spill",
+	PhasePass:          "pass",
+	PhaseShed:          "shed",
+	PhaseReplay:        "replay",
+	PhaseLease:         "lease",
+	PhaseBudgetCap:     "budget-cap",
+	PhaseOverload:      "overload",
+	PhaseChunk:         "chunk",
+	PhaseCrashExit:     "crash-exit",
+	PhaseDrop:          "drop",
+	PhaseScale:         "scale",
+	PhaseScaleEpoch:    "scale-epoch",
+	PhaseHandoff:       "handoff",
+	PhaseDrain:         "drain",
+	PhaseCorrupt:       "corrupt",
+	PhaseCorruptDetect: "corrupt-detect",
+	PhaseCorruptDrop:   "corrupt-drop",
+	PhaseDupDrop:       "dup-drop",
+	PhaseUnreachable:   "unreachable",
+	PhaseProbe:         "probe",
+	PhaseHeal:          "heal",
+	PhaseHedge:         "hedge",
+	PhaseHedgeCancel:   "hedge-cancel",
 }
 
 // String returns the stable lowercase name of the phase.

@@ -19,6 +19,9 @@ type VerifyReport struct {
 	LeaseRanks       int      // ranks whose lease peak was bounded
 	ScaleEpochs      int      // resize epochs cross-checked across ranks
 	ChunkChecks      int      // dumps whose chunk conservation was checked
+	CorruptChecks    int      // corrupt-dropped (dump, writer) pairs quarantine-checked
+	HealChecks       int      // (dump, writer) pairs checked for double-processing across heals
+	HedgeChecks      int      // (rank, dump, writer) hedge races checked for resolution
 	Violations       []string // human-readable invariant failures
 }
 
@@ -48,6 +51,19 @@ type VerifyReport struct {
 //     processed exactly once somewhere (or explicitly passed through or
 //     accounted as dropped): nothing is lost and nothing double-reduced
 //     when shards and routes move between ranks.
+//  7. Corruption quarantine — a (dump, writer) chunk abandoned as
+//     corrupt (PhaseCorruptDrop) must never have been retired by any
+//     rank's engine (PhaseChunk): damaged bytes cannot reach Reduce.
+//     Every corrupt-drop must also carry at least one preceding CRC
+//     detection — quarantine without evidence is a runtime bug.
+//  8. Heal exclusivity — on recordings containing a partition heal
+//     (PhaseHeal), no (dump, writer) chunk is engine-retired more than
+//     once: a rank rejoining after a fence window never re-processes
+//     work the quorum side already reduced.
+//  9. Hedge resolution — per (rank, dump, writer), every hedged pull
+//     launched (PhaseHedge) resolved its race (PhaseHedgeCancel, which
+//     cancels the losing attempt), and no resolution appears without a
+//     launch: hedge attempts cannot leak past the race.
 //
 // It returns an error when the recording is unusable (nil, empty, or
 // lossy — dropped events could hide a violation) or when any
@@ -76,6 +92,9 @@ func Verify(rec *Recording) (*VerifyReport, error) {
 	verifyLeasePeaks(rec, rep)
 	verifyScaleEpochs(rec, rep)
 	verifyChunkConservation(rec, rep)
+	verifyCorruptionQuarantine(rec, rep)
+	verifyHealExclusivity(rec, rep)
+	verifyHedgeResolution(rec, rep)
 	if len(rep.Violations) > 0 {
 		return rep, fmt.Errorf("trace: %d invariant violation(s):\n  %s",
 			len(rep.Violations), strings.Join(rep.Violations, "\n  "))
@@ -475,6 +494,8 @@ func verifyChunkConservation(rec *Recording, rep *VerifyReport) {
 			mark(e.Dump, e.Seq)
 		case PhasePass, PhaseDrop:
 			mark(e.Dump, int64(e.Endpoint))
+		case PhaseCorruptDrop:
+			mark(e.Dump, e.Seq)
 		}
 	}
 	dumps := make([]int64, 0, len(covered))
@@ -491,6 +512,161 @@ func verifyChunkConservation(rec *Recording, rep *VerifyReport) {
 			if !covered[d][w] {
 				rep.fail("dump %d: writer %d's chunk neither processed, passed, nor dropped — lost across handoff", d, w)
 			}
+		}
+	}
+}
+
+// verifyCorruptionQuarantine checks end-to-end integrity's trace-level
+// contract: a (dump, writer) chunk the staging side abandoned as corrupt
+// (every re-pull delivered damaged bytes) must never appear as
+// engine-retired anywhere — PhaseChunk after PhaseCorruptDrop for the
+// same chunk means corrupted bytes reached Reduce. Each corrupt-drop
+// must also be backed by at least one CRC detection for the same chunk:
+// the shed path may only fire on verified evidence.
+func verifyCorruptionQuarantine(rec *Recording, rep *VerifyReport) {
+	type dw struct {
+		dump   int64
+		writer int64
+	}
+	processed := map[dw]bool{}
+	detected := map[dw]bool{}
+	dropped := map[dw]bool{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if e.Dump < 0 {
+			continue
+		}
+		switch e.Phase {
+		case PhaseChunk:
+			processed[dw{e.Dump, e.Seq}] = true
+		case PhaseCorruptDetect:
+			detected[dw{e.Dump, e.Seq}] = true
+		case PhaseCorruptDrop:
+			dropped[dw{e.Dump, e.Seq}] = true
+		}
+	}
+	if len(dropped) == 0 {
+		return
+	}
+	keys := make([]dw, 0, len(dropped))
+	for k := range dropped {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dump != keys[j].dump {
+			return keys[i].dump < keys[j].dump
+		}
+		return keys[i].writer < keys[j].writer
+	})
+	for _, k := range keys {
+		rep.CorruptChecks++
+		if processed[k] {
+			rep.fail("dump %d: writer %d's chunk was corrupt-dropped yet engine-retired — corrupted bytes reached Reduce",
+				k.dump, k.writer)
+		}
+		if !detected[k] {
+			rep.fail("dump %d: writer %d's chunk was corrupt-dropped without any recorded CRC detection",
+				k.dump, k.writer)
+		}
+	}
+}
+
+// verifyHealExclusivity applies to recordings that contain a partition
+// heal: a fenced rank rejoined the serving set, so routes moved twice
+// (away at the fence, back at the heal). Per (dump, writer) the chunk
+// must be engine-retired at most once across all ranks — the
+// epoch-fenced rejoin contract that healed ranks never re-process work
+// the quorum side already reduced.
+func verifyHealExclusivity(rec *Recording, rep *VerifyReport) {
+	hasHeal := false
+	for i := range rec.Events {
+		if rec.Events[i].Phase == PhaseHeal {
+			hasHeal = true
+			break
+		}
+	}
+	if !hasHeal {
+		return
+	}
+	type dw struct {
+		dump   int64
+		writer int64
+	}
+	processed := map[dw]int{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if e.Phase == PhaseChunk && e.Dump >= 0 {
+			processed[dw{e.Dump, e.Seq}]++
+		}
+	}
+	keys := make([]dw, 0, len(processed))
+	for k := range processed {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dump != keys[j].dump {
+			return keys[i].dump < keys[j].dump
+		}
+		return keys[i].writer < keys[j].writer
+	})
+	for _, k := range keys {
+		rep.HealChecks++
+		if n := processed[k]; n > 1 {
+			rep.fail("dump %d: writer %d's chunk processed %d times across a partition heal — double-reduced",
+				k.dump, k.writer, n)
+		}
+	}
+}
+
+// verifyHedgeResolution checks that every hedged-pull race resolved:
+// per (rank, dump, writer), hedge launches (PhaseHedge) and race
+// resolutions (PhaseHedgeCancel — the point where the losing attempt's
+// context is cancelled and joined) pair up exactly, and no resolution
+// appears without a launch. An unresolved launch means a pull attempt
+// may have outlived its race.
+func verifyHedgeResolution(rec *Recording, rep *VerifyReport) {
+	type key struct {
+		rank   int32
+		dump   int64
+		writer int64
+	}
+	launched := map[key]int{}
+	resolved := map[key]int{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		switch e.Phase {
+		case PhaseHedge:
+			launched[key{e.Rank, e.Dump, e.Seq}]++
+		case PhaseHedgeCancel:
+			resolved[key{e.Rank, e.Dump, e.Seq}]++
+		}
+	}
+	if len(launched) == 0 && len(resolved) == 0 {
+		return
+	}
+	keys := make([]key, 0, len(launched)+len(resolved))
+	for k := range launched {
+		keys = append(keys, k)
+	}
+	for k := range resolved {
+		if _, ok := launched[k]; !ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].rank != keys[j].rank {
+			return keys[i].rank < keys[j].rank
+		}
+		if keys[i].dump != keys[j].dump {
+			return keys[i].dump < keys[j].dump
+		}
+		return keys[i].writer < keys[j].writer
+	})
+	for _, k := range keys {
+		rep.HedgeChecks++
+		if launched[k] != resolved[k] {
+			rep.fail("rank %d dump %d writer %d: %d hedge launches but %d resolutions — a hedged attempt outlived its race",
+				k.rank, k.dump, k.writer, launched[k], resolved[k])
 		}
 	}
 }
