@@ -1,7 +1,7 @@
 GO ?= go
 VET_BIN := bin/predata-vet
 
-.PHONY: all build test race fmt vet vet-fixtures bench-smoke trace-test elastic-soak adversary-soak evaluation clean
+.PHONY: all build test race fmt vet vet-fixtures bench-smoke trace-test elastic-soak adversary-soak restart-soak evaluation clean
 
 all: build vet test
 
@@ -63,6 +63,16 @@ elastic-soak:
 adversary-soak:
 	$(GO) test -race -shuffle=on -count=1 -run 'Adversary|Corrupt|Partition|Hedg|Dup|Quorum|Fence|Heal|Seal|Integrity' ./internal/faults/ ./internal/fabric/ ./internal/predata/ ./internal/staging/ ./internal/trace/
 	$(GO) run ./cmd/predata-bench -experiment adversary -json BENCH_adversary.json
+
+# restart-soak runs the durability suite: WAL framing/recovery units
+# and fuzz seeds, journal-backed restart, whole-service crashall replay
+# and checkpoint truncation through the pipeline, the revive/drain
+# fabric paths (raced, shuffled), and the restart experiment
+# (DESIGN.md §14). CI repeats it across fault seeds 1/7/42.
+restart-soak:
+	$(GO) test -race -shuffle=on -count=1 ./internal/wal/
+	$(GO) test -race -shuffle=on -count=1 -run 'Restart|CrashAll|Checkpoint|Journal|Wal|WAL|Revive|Drain|DupState' ./internal/faults/ ./internal/fabric/ ./internal/predata/ ./internal/trace/ ./internal/dataspaces/
+	$(GO) run ./cmd/predata-bench -experiment restart -json BENCH_restart.json
 
 evaluation:
 	$(GO) run ./cmd/predata-bench -experiment all

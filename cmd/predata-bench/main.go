@@ -10,6 +10,7 @@
 //	predata-bench -experiment trace [-json BENCH_trace.json]
 //	predata-bench -experiment elastic [-json BENCH_elastic.json]
 //	predata-bench -experiment adversary [-json BENCH_adversary.json]
+//	predata-bench -experiment restart [-json BENCH_restart.json]
 //	predata-bench -experiment ablations
 //	predata-bench -experiment all
 //
@@ -28,10 +29,10 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|chaos|overload|trace|elastic|adversary|ablations|all")
+		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|chaos|overload|trace|elastic|adversary|restart|ablations|all")
 	op := flag.String("op", "all", "fig7 operator: sort|hist|hist2d|all")
 	jsonPath := flag.String("json", "BENCH_overload.json",
-		"overload/trace/elastic/adversary experiments: write the summary as JSON to this path (empty disables; trace, elastic and adversary default to BENCH_trace.json / BENCH_elastic.json / BENCH_adversary.json)")
+		"overload/trace/elastic/adversary/restart experiments: write the summary as JSON to this path (empty disables; trace, elastic, adversary and restart default to BENCH_trace.json / BENCH_elastic.json / BENCH_adversary.json / BENCH_restart.json)")
 	flag.Parse()
 
 	// The flag default carries the overload experiment's filename; the
@@ -50,6 +51,9 @@ func main() {
 	}
 	if *experiment == "adversary" && !jsonSet {
 		*jsonPath = "BENCH_adversary.json"
+	}
+	if *experiment == "restart" && !jsonSet {
+		*jsonPath = "BENCH_restart.json"
 	}
 
 	if err := run(os.Stdout, *experiment, *op, *jsonPath); err != nil {
@@ -99,6 +103,8 @@ func run(w io.Writer, experiment, op, jsonPath string) error {
 		return bench.Elastic(w, jsonPath)
 	case "adversary":
 		return bench.Adversary(w, jsonPath)
+	case "restart":
+		return bench.Restart(w, jsonPath)
 	case "ablations":
 		return ablations()
 	case "all":
@@ -113,6 +119,7 @@ func run(w io.Writer, experiment, op, jsonPath string) error {
 			func(w io.Writer) error { return bench.Trace(w, "") },
 			func(w io.Writer) error { return bench.Elastic(w, "") },
 			func(w io.Writer) error { return bench.Adversary(w, "") },
+			func(w io.Writer) error { return bench.Restart(w, "") },
 		} {
 			if err := f(w); err != nil {
 				return err

@@ -8,6 +8,7 @@
 //	predata-run -compute 16 -staging 4 -particles 50000 -dumps 2 -ops sort,hist,hist2d,index
 //	predata-run -app pixie3d -compute 8 -staging 2 -local 16 -ops reorg
 //	predata-run -app xray -compute 8 -staging 3 -dumps 10 -buffer-mb 1 -elastic 1:3 -scale-policy growk=1,cooldown=1
+//	predata-run -compute 8 -staging 3 -dumps 6 -wal-dir /tmp/predata-wal -checkpoint-every 2 -fault-plan 'restart:9@1:2'
 package main
 
 import (
@@ -54,7 +55,11 @@ func main() {
 			"straggler hedging: re-issue a pull once it exceeds this multiple of the bandwidth-model estimate (0 uses the default, negative disables; staging mode only)")
 		bufferMB = flag.Int("buffer-mb", -1,
 			"staging memory budget in MB (0 disables; -1 takes the ADIOS <buffer size-MB> when -adios-config is given, else 0)")
-		spillDir  = flag.String("spill-dir", "", "directory for overload spill segments (default: system temp)")
+		spillDir = flag.String("spill-dir", "", "directory for overload spill segments (default: system temp)")
+		walDir   = flag.String("wal-dir", "",
+			"durable staging: keep per-rank write-ahead journals under this directory and recover from them on start (required for restart/crashall fault plans; staging mode only)")
+		checkpointEvery = flag.Int("checkpoint-every", 0,
+			"write a dump-boundary checkpoint and truncate the journals every N dumps (0 disables; requires -wal-dir)")
 		tracePath = flag.String("trace", "",
 			"flight-record the run and write the trace here (.json: Chrome trace_event; otherwise PDTRACE1 binary; staging mode only)")
 		elasticSpec = flag.String("elastic", "",
@@ -96,6 +101,10 @@ func main() {
 			fmt.Fprintln(os.Stderr, "predata-run: -hedge-factor requires -mode staging")
 			os.Exit(2)
 		}
+		if *walDir != "" || *checkpointEvery != 0 {
+			fmt.Fprintln(os.Stderr, "predata-run: -wal-dir and -checkpoint-every require -mode staging")
+			os.Exit(2)
+		}
 		if *app == "xray" {
 			fmt.Fprintln(os.Stderr, "predata-run: the xray workload requires -mode staging")
 			os.Exit(2)
@@ -110,13 +119,13 @@ func main() {
 		fmt.Fprintln(os.Stderr, "predata-run: unknown -mode", *mode)
 		os.Exit(2)
 	}
-	if err := run(*app, *compute, *stagingN, *particles, *local, *frames, *dumps, *workers, *opsFlag, *faultPlan, *faultSeed, *hedgeFactor, *bufferMB, *spillDir, *tracePath, *elasticSpec, *scalePolicy); err != nil {
+	if err := run(*app, *compute, *stagingN, *particles, *local, *frames, *dumps, *workers, *opsFlag, *faultPlan, *faultSeed, *hedgeFactor, *bufferMB, *spillDir, *walDir, *checkpointEvery, *tracePath, *elasticSpec, *scalePolicy); err != nil {
 		fmt.Fprintln(os.Stderr, "predata-run:", err)
 		os.Exit(1)
 	}
 }
 
-func run(app string, compute, stagingN, particles, local, frames, dumps, workers int, opsFlag, faultPlan string, faultSeed int64, hedgeFactor float64, bufferMB int, spillDir, tracePath, elasticSpec, scalePolicy string) error {
+func run(app string, compute, stagingN, particles, local, frames, dumps, workers int, opsFlag, faultPlan string, faultSeed int64, hedgeFactor float64, bufferMB int, spillDir, walDir string, checkpointEvery int, tracePath, elasticSpec, scalePolicy string) error {
 	opNames := strings.Split(opsFlag, ",")
 	factory, err := operatorFactory(app, opNames)
 	if err != nil {
@@ -127,6 +136,14 @@ func run(app string, compute, stagingN, particles, local, frames, dumps, workers
 			return fmt.Errorf("spill dir: %w", err)
 		}
 	}
+	if checkpointEvery != 0 && walDir == "" {
+		return fmt.Errorf("-checkpoint-every requires -wal-dir")
+	}
+	if walDir != "" {
+		if err := os.MkdirAll(walDir, 0o755); err != nil {
+			return fmt.Errorf("wal dir: %w", err)
+		}
+	}
 	cfg := predata.PipelineConfig{
 		NumCompute:      compute,
 		NumStaging:      stagingN,
@@ -135,6 +152,8 @@ func run(app string, compute, stagingN, particles, local, frames, dumps, workers
 		PullConcurrency: 2,
 		BufferMB:        bufferMB,
 		Overload:        flowctl.Policy{SpillDir: spillDir},
+		WALDir:          walDir,
+		CheckpointEvery: checkpointEvery,
 		Retry:           predata.RetryPolicy{HedgeFactor: hedgeFactor},
 	}
 	if faultPlan != "" {
@@ -218,6 +237,11 @@ func run(app string, compute, stagingN, particles, local, frames, dumps, workers
 		}
 		if rep.Duplicates > 0 {
 			fmt.Printf(", %d duplicated ctl messages (%d absorbed)", rep.Duplicates, rep.DupDrops)
+		}
+		if rep.WalRecords > 0 || rep.Restarts > 0 {
+			fmt.Printf(", %d WAL records (%.1f MB, %v journaling), %d checkpoints, %d restarts (%d chunks replayed)",
+				rep.WalRecords, float64(rep.WalBytes)/1e6, rep.JournalWall.Round(time.Microsecond),
+				rep.Checkpoints, rep.Restarts, rep.WalReplayed)
 		}
 		if len(rep.CrashedStaging) > 0 {
 			fmt.Printf(", crashed staging %v, recovery %v",

@@ -22,7 +22,10 @@
 //     condition is rank-tainted — some ranks take the arm, some do not;
 //   - a return/break under a rank-tainted condition with a collective
 //     call later in the same function — some ranks leave early and skip
-//     the exchange.
+//     the exchange. This rule is scoped per function literal: a return
+//     inside a closure exits only the closure, so it is judged against
+//     the closure's own conditions and collectives, not the enclosing
+//     rank's flow.
 //
 // Rank-dependent *arguments* (comm.Split(color, rank)) are the normal,
 // correct pattern and are never flagged; only rank-dependent *control
@@ -213,21 +216,40 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 		}
 		return true
 	})
-	collectiveAfter := func(p token.Pos) bool {
-		for _, cp := range collectivePos {
-			if cp > p {
-				return true
-			}
-		}
-		return false
-	}
-
 	// Report: collectives under tainted conditions; early exits under
 	// tainted conditions that skip a later collective.
 	var condStack []bool
 	condTainted := func() bool {
 		for _, t := range condStack {
 			if t {
+				return true
+			}
+		}
+		return false
+	}
+	// A return (or break) inside a function literal exits the literal,
+	// not the rank's main flow, so the early-exit rule is scoped per
+	// literal: only conditions entered inside the current literal and
+	// collectives lexically inside it count. The collective-call rule
+	// keeps the full inherited stack — a closure defined under a
+	// rank-tainted branch still only exists on some ranks.
+	type frame struct {
+		condBase int
+		end      token.Pos
+	}
+	frames := []frame{{0, fd.Body.End()}}
+	frameTainted := func() bool {
+		for _, t := range condStack[frames[len(frames)-1].condBase:] {
+			if t {
+				return true
+			}
+		}
+		return false
+	}
+	frameCollectiveAfter := func(p token.Pos) bool {
+		end := frames[len(frames)-1].end
+		for _, cp := range collectivePos {
+			if cp > p && cp < end {
 				return true
 			}
 		}
@@ -292,19 +314,24 @@ func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
 			}
 			// Compare from End(): a collective inside the return expression
 			// itself is not "skipped" by it (the CallExpr case covers it).
-			if condTainted() && collectiveAfter(n.End()) {
+			if frameTainted() && frameCollectiveAfter(n.End()) {
 				pass.Reportf(n.Pos(),
 					"rank-conditional return skips a later collective: ranks that "+
 						"return here never enter the exchange (deadlock risk)")
 			}
 			return true
 		case *ast.BranchStmt:
-			if n.Tok == token.BREAK && condTainted() && collectiveAfter(n.Pos()) {
+			if n.Tok == token.BREAK && frameTainted() && frameCollectiveAfter(n.Pos()) {
 				pass.Reportf(n.Pos(),
 					"rank-conditional break skips a later collective: ranks that "+
 						"break here never enter the exchange (deadlock risk)")
 			}
 			return true
+		case *ast.FuncLit:
+			frames = append(frames, frame{len(condStack), n.Body.End()})
+			ast.Inspect(n.Body, walk)
+			frames = frames[:len(frames)-1]
+			return false
 		}
 		return true
 	}

@@ -51,3 +51,29 @@ func goodRankLocalWork(c *mpi.Comm, vals []float64) ([][]float64, error) {
 	}
 	return mpi.Alltoall(c, send)
 }
+
+func goodClosureEarlyReturn(c *mpi.Comm, data []int) ([]int, error) {
+	// The helper's early return exits the closure, not the rank's main
+	// flow: every rank still reaches the collective below.
+	rank := c.Rank()
+	note := func() {
+		if rank == 0 {
+			return
+		}
+		_ = rank
+	}
+	note()
+	return mpi.Allreduce(c, data, sum)
+}
+
+func badClosureSkipsOwnCollective(c *mpi.Comm, data []int) error {
+	// A rank-conditional return inside the closure that skips a
+	// collective in the SAME closure is still the deadlock shape.
+	body := func() error {
+		if c.Rank()%2 == 0 {
+			return nil // want `rank-conditional return skips a later collective`
+		}
+		return c.Barrier()
+	}
+	return body()
+}

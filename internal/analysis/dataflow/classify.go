@@ -176,8 +176,11 @@ func (f *fn) classifyAssign(node ast.Node, lhs, rhs []ast.Expr, emit func(opKind
 // classifyDefer handles defer statements. A deferred release —
 // directly (defer l.Release()) or through a closure whose body
 // releases the value — guarantees release at function exit on every
-// path from here on. Anything else deferred with the resource is a
-// hand-off.
+// path from here on. The two forms differ on rebinds: the direct form
+// evaluates its receiver at the defer statement, so it discharges only
+// the current handle, while the closure form reads the variable at
+// exit and therefore covers values re-acquired into it later too.
+// Anything else deferred with the resource is a hand-off.
 func (f *fn) classifyDefer(n *ast.DeferStmt, emit func(opKind, *resource, ast.Node)) {
 	call := n.Call
 	// defer l.Release() / defer sp.WithDump(d).End(0)
@@ -218,7 +221,7 @@ func (f *fn) classifyDefer(n *ast.DeferStmt, emit func(opKind, *resource, ast.No
 				}
 				seen[r] = true
 				if releasedVars[v] {
-					emit(opDeferRelease, r, id)
+					emit(opDeferReleaseVar, r, id)
 				} else {
 					emit(opEscape, r, id)
 				}

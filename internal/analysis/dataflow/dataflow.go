@@ -22,7 +22,18 @@
 //	l, ok := b.TryAcquire(n)      // !ok         kills l on the false edge
 //	if c.Release != nil { ... }   // nil release hook: nothing to release
 //
-// together with direct nil tests of the resource itself. Escapes —
+// together with direct nil tests of the resource itself. Deferred
+// releases come in two flavors with different rebind semantics:
+// defer l.Close() evaluates its receiver immediately, so it discharges
+// only the handle l holds at the defer statement; defer func(){
+// l.Close() }() captures l by reference and closes whatever the
+// variable holds at exit, so it also discharges handles re-acquired
+// into l later — the restart idiom of closing a bounced incarnation's
+// journal and reopening a fresh one under a single shutdown closure.
+// The closure only sees the final value, so overwriting a still-live
+// handle is reported as a reassign leak either way, and the cover only
+// counts when the defer statement runs on every path to the acquire
+// (tracked as a must-property seeded at function entry). Escapes —
 // returning the resource, sending it on a channel, storing it, passing
 // it to a call, capturing it in a non-defer closure, or reading its
 // release member as a value — transfer responsibility to someone the
@@ -104,6 +115,15 @@ const (
 	released
 	escaped
 	deferredRel // release deferred: fires at exit on every later path
+	// uncovered marks a live handle with no by-reference deferred
+	// release behind it; only live+uncovered counts as a leak at exit.
+	uncovered
+	// noCover is the must-analysis complement of closure cover: it is
+	// seeded at function entry and cleared by a deferred closure that
+	// releases the binding, so it survives the union merge exactly when
+	// SOME path reaches this point without the covering defer. An
+	// acquire is covered iff noCover is clear.
+	noCover
 )
 
 // resource is one tracked acquire site.
@@ -181,6 +201,12 @@ func checkBody(info *types.Info, body *ast.BlockStmt, spec *Spec) []Finding {
 	for _, blk := range blocks {
 		in[blk] = make([]state, len(f.res))
 	}
+	// No resource is covered by a deferred closure until the defer
+	// statement actually runs; the fixpoint clears the bit downstream
+	// of each covering defer.
+	for _, r := range f.res {
+		in[f.g.Entry][r.id] = noCover
+	}
 	// Fixpoint: propagate block out-states (with branch refinement)
 	// into successors until nothing changes.
 	changed := true
@@ -208,7 +234,10 @@ func checkBody(info *types.Info, body *ast.BlockStmt, spec *Spec) []Finding {
 		f.transfer(blk, cloneStates(in[blk]), true)
 	}
 	for _, r := range f.res {
-		if in[f.g.Exit][r.id]&live != 0 {
+		// live alone is not a leak: a handle acquired under a covering
+		// deferred closure (live without uncovered) is closed at exit
+		// through its variable.
+		if st := in[f.g.Exit][r.id]; st&live != 0 && st&uncovered != 0 {
 			f.report(Finding{Kind: Leak, Pos: r.pos, AcquirePos: r.pos, Desc: r.desc})
 		}
 	}
@@ -454,7 +483,13 @@ type opKind int
 const (
 	opAcquire opKind = iota
 	opRelease
+	// opDeferRelease: defer l.Close() — the receiver is evaluated at
+	// the defer statement, so only the handle held NOW is discharged.
 	opDeferRelease
+	// opDeferReleaseVar: defer func(){ l.Close() }() — the closure
+	// reads l at exit, so the binding is covered from here on: handles
+	// re-acquired into it later are discharged too.
+	opDeferReleaseVar
 	opEscape
 	opBenign
 	opOverwrite
@@ -471,38 +506,60 @@ func (f *fn) transfer(blk *cfg.Block, states []state, reportPass bool) []state {
 				if s&live != 0 && reportPass {
 					f.report(Finding{Kind: Leak, Pos: o.res.pos, AcquirePos: o.res.pos, Desc: o.res.desc})
 				}
-				states[o.res.id] = live
+				ns := live | s&noCover
+				if s&noCover != 0 {
+					// Some path reaches this acquire without a covering
+					// deferred closure: the handle must discharge on
+					// its own.
+					ns |= uncovered
+				}
+				states[o.res.id] = ns
 			case opOverwrite:
 				if s&live != 0 && reportPass {
 					f.report(Finding{Kind: LeakReassign, Pos: o.pos, AcquirePos: o.res.pos, Desc: o.res.desc})
 				}
-				states[o.res.id] = 0
+				states[o.res.id] = s & noCover
 			case opRelease:
-				if s == 0 {
+				if s&^noCover == 0 {
 					break // not acquired on this path
 				}
 				if f.spec.ExactlyOnce && s&(released|deferredRel) != 0 && reportPass {
 					f.report(Finding{Kind: DoubleRelease, Pos: o.pos, AcquirePos: o.res.pos, Desc: o.res.desc})
 				}
-				states[o.res.id] = (s &^ live) | released
+				states[o.res.id] = (s &^ (live | uncovered)) | released
 			case opDeferRelease:
-				if s == 0 {
+				if s&^noCover == 0 {
 					break
 				}
 				if f.spec.ExactlyOnce && s&(released|deferredRel) != 0 && reportPass {
 					f.report(Finding{Kind: DoubleRelease, Pos: o.pos, AcquirePos: o.res.pos, Desc: o.res.desc})
 				}
-				states[o.res.id] = (s &^ live) | deferredRel
+				states[o.res.id] = (s &^ (live | uncovered)) | deferredRel
+			case opDeferReleaseVar:
+				if s&^noCover == 0 {
+					// Nothing acquired yet: the closure covers whatever
+					// this binding holds at exit from here on.
+					states[o.res.id] = s &^ noCover
+					break
+				}
+				if f.spec.ExactlyOnce && s&(released|deferredRel) != 0 && reportPass {
+					f.report(Finding{Kind: DoubleRelease, Pos: o.pos, AcquirePos: o.res.pos, Desc: o.res.desc})
+				}
+				// Keep live: a later overwrite still orphans THIS handle
+				// (the closure reads the variable's final value), so the
+				// reassign check must see it; clearing uncovered is what
+				// silences the exit check.
+				states[o.res.id] = (s &^ (uncovered | noCover)) | deferredRel
 			case opEscape:
-				if s == 0 {
+				if s&^noCover == 0 {
 					break
 				}
 				if f.spec.ExactlyOnce && s&released != 0 && reportPass {
 					f.report(Finding{Kind: UseAfterRelease, Pos: o.pos, AcquirePos: o.res.pos, Desc: o.res.desc})
 				}
-				states[o.res.id] = (s &^ live) | escaped
+				states[o.res.id] = (s &^ (live | uncovered)) | escaped
 			case opBenign:
-				if s == 0 {
+				if s&^noCover == 0 {
 					break
 				}
 				if f.spec.ExactlyOnce && s&released != 0 && s&live == 0 && reportPass {
@@ -532,11 +589,13 @@ func (f *fn) refineCond(cond ast.Expr, branch bool, states []state) {
 			f.refineCond(c.X, !branch, states)
 		}
 	case *ast.Ident:
-		// if ok { ... }: resource invalid on the false edge.
+		// if ok { ... }: resource invalid on the false edge. Closure
+		// cover survives the kill — it belongs to the variable, not to
+		// the binding being invalidated.
 		if v, ok := f.info.Uses[c].(*types.Var); ok && !branch {
 			for _, r := range f.res {
 				if r.okVars[v] {
-					states[r.id] = 0
+					states[r.id] &= noCover
 				}
 			}
 		}
@@ -566,11 +625,11 @@ func (f *fn) refineCond(cond ast.Expr, branch bool, states []state) {
 			for _, r := range f.res {
 				// err is nil → valid; err non-nil → invalid.
 				if r.errVars[v] && !isNilEdge {
-					states[r.id] = 0
+					states[r.id] &= noCover
 				}
 				// resource itself nil → nothing acquired.
 				if r.vars[v] && isNilEdge {
-					states[r.id] = 0
+					states[r.id] &= noCover
 				}
 			}
 		case *ast.SelectorExpr:
@@ -588,7 +647,7 @@ func (f *fn) refineCond(cond ast.Expr, branch bool, states []state) {
 			}
 			for _, r := range f.res {
 				if r.vars[v] && isNilEdge {
-					states[r.id] = 0
+					states[r.id] &= noCover
 				}
 			}
 		}

@@ -12,6 +12,7 @@ import (
 	"predata/internal/analysis/lockhold"
 	"predata/internal/analysis/spanend"
 	"predata/internal/analysis/typederr"
+	"predata/internal/analysis/walrelease"
 )
 
 // Analyzers returns the full predata-vet suite.
@@ -25,6 +26,7 @@ func Analyzers() []*analysis.Analyzer {
 		lockhold.Analyzer,
 		spanend.Analyzer,
 		typederr.Analyzer,
+		walrelease.Analyzer,
 	}
 }
 

@@ -1,0 +1,208 @@
+// Fixture for the walrelease analyzer: write-ahead journal handles
+// must be closed or handed off on every path.
+package a
+
+import (
+	"predata/internal/wal"
+)
+
+// ---- positive cases ----
+
+// LeakOnErrorPath closes on the happy path but leaks the handle when
+// the append fails — exactly the path a crashed rank would need the
+// flushed tail on.
+func LeakOnErrorPath(dir string, payload []byte) error {
+	l, err := wal.Open(dir) // want `journal from wal.Open is not closed on every path`
+	if err != nil {
+		return err
+	}
+	if err := l.AppendChunk(0, 0, payload); err != nil {
+		return err
+	}
+	return l.Close()
+}
+
+// LeakAfterBenignUse only reads the stats, which does not discharge
+// the handle.
+func LeakAfterBenignUse(dir string) int64 {
+	l, err := wal.Open(dir) // want `journal from wal.Open is not closed on every path`
+	if err != nil {
+		return 0
+	}
+	return l.Bytes()
+}
+
+// Discarded drops the handle on the floor.
+func Discarded(dir string) {
+	wal.Open(dir) // want `result of wal.Open is discarded`
+}
+
+// Rebind overwrites a live handle with a fresh one: the first
+// journal's buffered tail is never flushed.
+func Rebind(dir, other string) {
+	l, err := wal.Open(dir)
+	if err != nil {
+		return
+	}
+	l, err = wal.Open(other) // want `journal from wal.Open is overwritten while still open`
+	if err != nil {
+		return
+	}
+	l.Close()
+}
+
+// LeakInCheckpointLoop syncs and checkpoints but bails out of the loop
+// without closing when a checkpoint fails.
+func LeakInCheckpointLoop(dir string, dumps int) error {
+	l, err := wal.Open(dir) // want `journal from wal.Open is not closed on every path`
+	if err != nil {
+		return err
+	}
+	for d := 0; d < dumps; d++ {
+		if err := l.AppendCommit(int64(d)); err != nil {
+			return err
+		}
+		if _, err := l.WriteCheckpoint(wal.Checkpoint{NextDump: int64(d) + 1}); err != nil {
+			return err
+		}
+	}
+	return l.Close()
+}
+
+// ---- negative cases ----
+
+// DeferClose is the canonical shape.
+func DeferClose(dir string, payload []byte) error {
+	l, err := wal.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer l.Close()
+	return l.AppendChunk(0, 0, payload)
+}
+
+// CloseOnEveryPath releases explicitly on both branches.
+func CloseOnEveryPath(dir string, payload []byte) error {
+	l, err := wal.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := l.AppendRequest(0, 0, payload); err != nil {
+		l.Close()
+		return err
+	}
+	return l.Close()
+}
+
+// Returned hands the obligation to the caller.
+func Returned(dir string) (*wal.Log, error) {
+	return wal.Open(dir)
+}
+
+// Stored parks the handle in a structure, like the pipeline does with
+// ServerConfig.Journal; the owner closes it later.
+type holder struct {
+	j *wal.Log
+}
+
+func Stored(dir string, h *holder) error {
+	l, err := wal.Open(dir)
+	if err != nil {
+		return err
+	}
+	h.j = l
+	return nil
+}
+
+// ClosureCapture mirrors the pipeline's deferred shutdown closure: the
+// handle escapes into the closure, which owns the close.
+func ClosureCapture(dir string) (func(), error) {
+	l, err := wal.Open(dir)
+	if err != nil {
+		return nil, err
+	}
+	return func() { l.Close() }, nil
+}
+
+// RebindUnderShutdownClosure still leaks: the shutdown closure reads
+// the variable at exit, so overwriting a live handle orphans it — the
+// first journal's buffered tail is never flushed.
+func RebindUnderShutdownClosure(dir, other string) error {
+	l, err := wal.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if l != nil {
+			_ = l.Close()
+		}
+	}()
+	l, err = wal.Open(other) // want `journal from wal.Open is overwritten while still open`
+	if err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// ConditionalShutdownClosure does not cover the acquire: some path
+// reaches the open without registering the closure, and that path
+// leaks.
+func ConditionalShutdownClosure(dir string, guard bool) error {
+	var l *wal.Log
+	var err error
+	if guard {
+		defer func() {
+			if l != nil {
+				_ = l.Close()
+			}
+		}()
+	}
+	l, err = wal.Open(dir) // want `journal from wal.Open is not closed on every path`
+	if err != nil {
+		return err
+	}
+	return l.Sync()
+}
+
+// ReopenAfterClose rebinds only after the first handle is discharged —
+// the restart path's shape: close the dead incarnation's journal, then
+// open the fresh one.
+func ReopenAfterClose(dir, other string) error {
+	l, err := wal.Open(dir)
+	if err != nil {
+		return err
+	}
+	if err := l.Close(); err != nil {
+		return err
+	}
+	l, err = wal.Open(other)
+	if err != nil {
+		return err
+	}
+	return l.Close()
+}
+
+// ReopenUnderShutdownClosure mirrors the pipeline's restart path: one
+// deferred shutdown closure owns whatever handle the variable holds at
+// exit, so a handle re-opened after a bounce is discharged too.
+func ReopenUnderShutdownClosure(dir, other string, bounce bool) error {
+	l, err := wal.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if l != nil {
+			_ = l.Close()
+		}
+	}()
+	if bounce {
+		if err := l.Close(); err != nil {
+			return err
+		}
+		l, err = wal.Open(other)
+		if err != nil {
+			return err
+		}
+	}
+	return l.Sync()
+}

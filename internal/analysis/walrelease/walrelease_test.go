@@ -1,0 +1,12 @@
+package walrelease_test
+
+import (
+	"testing"
+
+	"predata/internal/analysis/analysistest"
+	"predata/internal/analysis/walrelease"
+)
+
+func TestWalRelease(t *testing.T) {
+	analysistest.Run(t, walrelease.Analyzer, "testdata/src/a")
+}

@@ -1,0 +1,133 @@
+package dataspaces
+
+import (
+	"bytes"
+	"testing"
+)
+
+func snapSpace(t *testing.T, servers int) *Space {
+	t.Helper()
+	s, err := New(Config{Servers: servers, Domain: Domain{Dims: []uint64{64, 64}, BlockSize: []uint64{16, 16}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestSnapshotRestoreRoundTrip(t *testing.T) {
+	s := snapSpace(t, 3)
+	data := make([]float64, 32*32)
+	for i := range data {
+		data[i] = float64(i) * 0.5
+	}
+	if err := s.Put("field", 1, []uint64{0, 0}, []uint64{32, 32}, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("field", 2, []uint64{16, 16}, []uint64{48, 48}, data); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := snapSpace(t, 3)
+	if err := fresh.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	for _, version := range []int{1, 2} {
+		lb, ub := []uint64{0, 0}, []uint64{32, 32}
+		if version == 2 {
+			lb, ub = []uint64{16, 16}, []uint64{48, 48}
+		}
+		want, err := s.Get("field", version, lb, ub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fresh.Get("field", version, lb, ub)
+		if err != nil {
+			t.Fatalf("restored space missing version %d: %v", version, err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("version %d cell %d: %g != %g", version, i, got[i], want[i])
+			}
+		}
+	}
+	if got, want := fresh.MemoryCells(), s.MemoryCells(); got != want {
+		t.Fatalf("restored footprint %d cells, want %d", got, want)
+	}
+	if vs := fresh.Versions("field"); len(vs) != 2 || vs[0] != 1 || vs[1] != 2 {
+		t.Fatalf("restored versions %v", vs)
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	mk := func() []byte {
+		s := snapSpace(t, 2)
+		d := make([]float64, 16*16)
+		for i := range d {
+			d[i] = float64(i)
+		}
+		for v := 1; v <= 3; v++ {
+			if err := s.Put("obj", v, []uint64{0, 0}, []uint64{16, 16}, d); err != nil {
+				t.Fatal(err)
+			}
+		}
+		blob, err := s.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return blob
+	}
+	if !bytes.Equal(mk(), mk()) {
+		t.Fatal("identical spaces produced different snapshots")
+	}
+}
+
+func TestRestoreReplacesAndRehashes(t *testing.T) {
+	s := snapSpace(t, 2)
+	d := make([]float64, 16*16)
+	for i := range d {
+		d[i] = float64(i) + 1
+	}
+	if err := s.Put("keep", 1, []uint64{0, 0}, []uint64{16, 16}, d); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Restore into a space with a different shard count and pre-existing
+	// contents: old data must vanish, restored blocks must land on the
+	// new layout.
+	dst := snapSpace(t, 4)
+	if err := dst.Put("stale", 9, []uint64{0, 0}, []uint64{16, 16}, d); err != nil {
+		t.Fatal(err)
+	}
+	if err := dst.Restore(blob); err != nil {
+		t.Fatal(err)
+	}
+	if vs := dst.Versions("stale"); len(vs) != 0 {
+		t.Fatalf("stale object survived restore: %v", vs)
+	}
+	got, err := dst.Get("keep", 1, []uint64{0, 0}, []uint64{16, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d {
+		if got[i] != d[i] {
+			t.Fatalf("cell %d: %g != %g", i, got[i], d[i])
+		}
+	}
+
+	// Empty and corrupt blobs.
+	empty := snapSpace(t, 1)
+	if err := empty.Restore(nil); err != nil {
+		t.Fatalf("nil blob: %v", err)
+	}
+	if err := empty.Restore([]byte("not a gob stream")); err == nil {
+		t.Fatal("corrupt blob accepted")
+	}
+}

@@ -207,8 +207,17 @@ func (f *Fabric) Shutdown() {
 // FailEndpoint marks endpoint id as crashed: its exposed regions vanish,
 // blocked receivers on it return an error wrapping faults.ErrEndpointDown,
 // and subsequent sends to or pulls from it are refused with the same
-// error. Unlike Shutdown this is per-endpoint and non-recoverable — it
-// models node loss, and the recovery layer reroutes around it.
+// error. Unlike Shutdown this is per-endpoint — it models node loss; the
+// recovery layer reroutes around it, and ReviveEndpoint brings a bounced
+// node back with fresh control-plane streams.
+//
+// Failing an endpoint wipes only the dead node's own state: its regions,
+// mailbox, stash and sequence maps go away with the node. Mail it already
+// delivered into peer mailboxes survives — a message on the wire does not
+// un-arrive because its sender died — so receivers still observe requests
+// from a node that crashed mid-dump and can fail the subsequent pull
+// loudly instead of hanging. Peer-side bookkeeping keyed by the dead id
+// is retired at ReviveEndpoint, where the fresh stream actually begins.
 func (f *Fabric) FailEndpoint(id int) error {
 	if id < 0 || id >= len(f.eps) {
 		return fmt.Errorf("fabric: FailEndpoint %d outside [0,%d)", id, len(f.eps))
@@ -217,10 +226,62 @@ func (f *Fabric) FailEndpoint(id int) error {
 	st := f.eps[id]
 	st.failed = true
 	st.regions = make(map[uint64]region)
+	st.mailbox = nil
+	st.dupStash = nil
+	st.ctlSent = make(map[int]uint64)
+	st.lastCtl = make(map[int]uint64)
 	f.mu.Unlock()
 	f.cond.Broadcast()
 	st.mailCond.Broadcast()
 	f.cfg.Tracer.Instant(trace.PhaseEndpointDown, id, -1, -1, 0, 0)
+	return nil
+}
+
+// pruneFrom drops every message originating at src, in place.
+func pruneFrom(box []ctlMessage, src int) []ctlMessage {
+	kept := box[:0]
+	for _, m := range box {
+		if m.src != src {
+			kept = append(kept, m)
+		}
+	}
+	return kept
+}
+
+// ReviveEndpoint clears the crashed flag set by FailEndpoint, modeling a
+// node rejoining after a restart. The node comes back empty — no exposed
+// regions, no queued mail — and every peer retires its (src, seq) state
+// for the dead stream: sequence counters and delivery watermarks keyed by
+// the revived id are dropped, and any still-undelivered pre-crash message
+// from it is pruned. Without this reset the dedup state would grow
+// monotonically across fail/revive churn, a stale lastCtl watermark would
+// silently swallow the first messages of the fresh stream, and leftover
+// dead-stream mail could collide with the fresh sequence numbers. The
+// first post-revival send therefore starts at seq 1 against a zero
+// watermark in both directions. Reviving a live endpoint is a no-op.
+func (f *Fabric) ReviveEndpoint(id int) error {
+	if id < 0 || id >= len(f.eps) {
+		return fmt.Errorf("fabric: ReviveEndpoint %d outside [0,%d)", id, len(f.eps))
+	}
+	f.mu.Lock()
+	st := f.eps[id]
+	st.failed = false
+	st.mailbox = nil
+	st.dupStash = nil
+	st.ctlSent = make(map[int]uint64)
+	st.lastCtl = make(map[int]uint64)
+	for peerID, peer := range f.eps {
+		if peerID == id {
+			continue
+		}
+		delete(peer.ctlSent, id)
+		delete(peer.lastCtl, id)
+		peer.mailbox = pruneFrom(peer.mailbox, id)
+		peer.dupStash = pruneFrom(peer.dupStash, id)
+	}
+	f.mu.Unlock()
+	f.cond.Broadcast()
+	st.mailCond.Broadcast()
 	return nil
 }
 
@@ -232,6 +293,20 @@ func (f *Fabric) Failed(id int) bool {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	return f.eps[id].failed
+}
+
+// CtlStateSize returns the number of control-plane bookkeeping entries
+// held for endpoint id: per-destination send sequences, per-source
+// delivery watermarks, and stashed duplicate copies. Soak tests use it to
+// assert the dedup state stays bounded across fail/revive churn.
+func (f *Fabric) CtlStateSize(id int) int {
+	if id < 0 || id >= len(f.eps) {
+		return 0
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.eps[id]
+	return len(st.ctlSent) + len(st.lastCtl) + len(st.dupStash)
 }
 
 // Endpoint is one node's attachment to the fabric.
@@ -365,6 +440,40 @@ func (e *Endpoint) recvCtl(timeout time.Duration) (src int, data any, err error)
 		}
 		st.mailCond.Wait()
 	}
+}
+
+// CtlRecord is one drained control message: who sent it and what it
+// carried. DrainCtl returns these so a restarting rank can journal its
+// in-flight mail before dropping off the fabric.
+type CtlRecord struct {
+	Src  int
+	Data any
+}
+
+// DrainCtl empties this endpoint's mailbox without blocking and returns
+// the messages in arrival order. The same (src, seq) duplicate absorption
+// as RecvCtl applies, so injected duplicate copies never leak into the
+// drained set and the delivery watermarks stay correct for whatever mail
+// arrives next. Draining a failed or shut-down endpoint returns whatever
+// was queued, without error — the caller is tearing down anyway.
+func (e *Endpoint) DrainCtl() []CtlRecord {
+	f := e.f
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := f.eps[e.id]
+	var out []CtlRecord
+	for _, m := range st.mailbox {
+		if m.seq > 0 && m.seq <= st.lastCtl[m.src] {
+			f.cfg.Faults.NoteDupDrop()
+			continue
+		}
+		if m.seq > 0 {
+			st.lastCtl[m.src] = m.seq
+		}
+		out = append(out, CtlRecord{Src: m.src, Data: m.data})
+	}
+	st.mailbox = nil
+	return out
 }
 
 // SetEpoch declares the dump epoch stamped onto regions this endpoint

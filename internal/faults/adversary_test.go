@@ -215,6 +215,10 @@ func FuzzParsePlan(f *testing.F) {
 	f.Add("dup:*:1e-3")
 	f.Add(";;")
 	f.Add("partition:1|2@0-3;partition:1,3|2@2-5")
+	f.Add("restart:9@1:2;crashall@3")
+	f.Add("restart:10@0")
+	f.Add("crashall@0;crashall@2;restart:8@1:1")
+	f.Add("partition:8|9@1-2;restart:9@2:1")
 	f.Fuzz(func(t *testing.T, spec string) {
 		p, err := ParsePlan(spec, 1)
 		if err != nil {

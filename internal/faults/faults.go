@@ -90,6 +90,35 @@ type Crash struct {
 	AtDump   int
 }
 
+// Restart bounces one endpoint: it goes down at the AtDump boundary,
+// stays down for Downtime dumps (the window [AtDump, AtDump+Downtime)),
+// and revives at AtDump+Downtime with its in-memory state lost —
+// recovery must come from the durability layer (internal/wal). Unlike
+// a Crash, the endpoint rejoins the membership.
+type Restart struct {
+	Endpoint int
+	AtDump   int
+	Downtime int // dumps spent down, >= 1
+}
+
+// revivesAt is the first dump the restarted endpoint serves again.
+func (r Restart) revivesAt() int { return r.AtDump + r.Downtime }
+
+// downAt reports whether the restart window covers dump.
+func (r Restart) downAt(dump int64) bool {
+	return dump >= int64(r.AtDump) && dump < int64(r.revivesAt())
+}
+
+// CrashAll kills and restarts the whole staging service mid-dump
+// AtDump: every staging rank loses its in-memory state at once —
+// correlated failure, the scenario single-rank rehash cannot cover —
+// and the service recovers from its write-ahead journals before the
+// dump is reduced. Membership is unchanged: everyone dies, everyone
+// comes back.
+type CrashAll struct {
+	AtDump int
+}
+
 // Transient makes an operation class fail with probability Prob per
 // attempt, attributed to one endpoint (the destination of a send, the
 // source of a pull, the receiver of a recv) or to all of them.
@@ -172,12 +201,15 @@ type Plan struct {
 	Corrupts   []Corrupt
 	Partitions []Partition
 	Dups       []Dup
+	Restarts   []Restart
+	CrashAlls  []CrashAll
 }
 
 // Empty reports whether the plan injects nothing.
 func (p Plan) Empty() bool {
 	return len(p.Crashes) == 0 && len(p.Transients) == 0 && len(p.Degrades) == 0 &&
-		len(p.Corrupts) == 0 && len(p.Partitions) == 0 && len(p.Dups) == 0
+		len(p.Corrupts) == 0 && len(p.Partitions) == 0 && len(p.Dups) == 0 &&
+		len(p.Restarts) == 0 && len(p.CrashAlls) == 0
 }
 
 // Validate checks rule ranges — probabilities in [0, 1], degrade factors
@@ -265,6 +297,81 @@ func (p Plan) Validate() error {
 			return fmt.Errorf("faults: duplicate dup rule for endpoint %d", d.Endpoint)
 		}
 		dupSeen[d.Endpoint] = true
+	}
+	return p.validateRestarts(crashed)
+}
+
+// validateRestarts checks restart and crashall directives: well-formed
+// windows, no overlapping restarts of one endpoint, no restart of an
+// endpoint the plan also crashes (the crash is permanent; the restart
+// could never revive it), and — because a fenced rank and a restarting
+// rank would fight over the same membership machinery — no restart or
+// crashall window overlapping a partition window that involves the
+// same endpoint.
+func (p Plan) validateRestarts(crashed map[int]bool) error {
+	partitionTouches := func(pt Partition, ep int, from, to int) (bool, bool) {
+		involved := ep < 0 || contains(pt.GroupA, ep) || contains(pt.GroupB, ep)
+		overlap := from <= pt.ToDump || pt.ToDump < 0
+		if to >= 0 && pt.FromDump > to {
+			overlap = false
+		}
+		return involved, overlap
+	}
+	for i, r := range p.Restarts {
+		if r.Endpoint < 0 {
+			return fmt.Errorf("faults: restart endpoint %d must be >= 0", r.Endpoint)
+		}
+		if r.AtDump < 0 {
+			return fmt.Errorf("faults: restart dump %d must be >= 0", r.AtDump)
+		}
+		if r.Downtime < 1 {
+			return fmt.Errorf("faults: restart downtime %d must be >= 1 dump", r.Downtime)
+		}
+		if crashed[r.Endpoint] {
+			return fmt.Errorf("faults: endpoint %d both crashes and restarts; a crash is permanent — use one or the other", r.Endpoint)
+		}
+		last := r.revivesAt() - 1
+		for _, prev := range p.Restarts[:i] {
+			if prev.Endpoint != r.Endpoint {
+				continue
+			}
+			if r.AtDump <= prev.revivesAt()-1 && prev.AtDump <= last {
+				return fmt.Errorf("faults: endpoint %d restart windows [%d,%d] and [%d,%d] overlap",
+					r.Endpoint, prev.AtDump, prev.revivesAt()-1, r.AtDump, last)
+			}
+		}
+		for _, pt := range p.Partitions {
+			involved, overlap := partitionTouches(pt, r.Endpoint, r.AtDump, last)
+			if involved && overlap {
+				return fmt.Errorf(
+					"faults: restart of endpoint %d over dumps [%d,%d] overlaps a partition window [%d,%d] involving it; a rank cannot fence and restart at once",
+					r.Endpoint, r.AtDump, last, pt.FromDump, pt.ToDump)
+			}
+		}
+	}
+	crashAllSeen := make(map[int]bool, len(p.CrashAlls))
+	for _, c := range p.CrashAlls {
+		if c.AtDump < 0 {
+			return fmt.Errorf("faults: crashall dump %d must be >= 0", c.AtDump)
+		}
+		if crashAllSeen[c.AtDump] {
+			return fmt.Errorf("faults: duplicate crashall at dump %d", c.AtDump)
+		}
+		crashAllSeen[c.AtDump] = true
+		for _, pt := range p.Partitions {
+			if _, overlap := partitionTouches(pt, AnyEndpoint, c.AtDump, c.AtDump); overlap {
+				return fmt.Errorf(
+					"faults: crashall at dump %d falls inside a partition window [%d,%d]; the correlated restart needs every link up to recover",
+					c.AtDump, pt.FromDump, pt.ToDump)
+			}
+		}
+		for _, r := range p.Restarts {
+			if r.downAt(int64(c.AtDump)) {
+				return fmt.Errorf(
+					"faults: crashall at dump %d falls inside endpoint %d's restart window [%d,%d]",
+					c.AtDump, r.Endpoint, r.AtDump, r.revivesAt()-1)
+			}
+		}
 	}
 	return nil
 }
@@ -417,12 +524,76 @@ func (in *Injector) OpFault(op Op, endpoint int) error {
 }
 
 // DownAt reports whether the plan has crashed the endpoint by dump.
+// Crashes are permanent; restart windows are queried separately
+// (RestartDownAt) because a restarting rank stays in the live
+// membership and rejoins.
 func (in *Injector) DownAt(endpoint int, dump int64) bool {
 	if in == nil {
 		return false
 	}
 	for _, c := range in.plan.Crashes {
 		if c.Endpoint == endpoint && dump >= int64(c.AtDump) {
+			return true
+		}
+	}
+	return false
+}
+
+// RestartDownAt reports whether a restart window holds the endpoint
+// down at dump: it serves nothing in [AtDump, AtDump+Downtime) and
+// revives after.
+func (in *Injector) RestartDownAt(endpoint int, dump int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, r := range in.plan.Restarts {
+		if r.Endpoint == endpoint && r.downAt(dump) {
+			return true
+		}
+	}
+	return false
+}
+
+// RestartAt returns the restart whose window opens exactly at dump for
+// the endpoint — the boundary where the rank must drain, journal and
+// go down.
+func (in *Injector) RestartAt(endpoint int, dump int64) (Restart, bool) {
+	if in == nil {
+		return Restart{}, false
+	}
+	for _, r := range in.plan.Restarts {
+		if r.Endpoint == endpoint && int64(r.AtDump) == dump {
+			return r, true
+		}
+	}
+	return Restart{}, false
+}
+
+// Revives reports whether the endpoint, though possibly down right
+// now, is scheduled to be serving again at dump: it has a restart in
+// the plan, no restart window covers dump, and no crash has taken it.
+// The client's send path retries ErrEndpointDown against such an
+// endpoint — the refusal is the restart race, not node loss.
+func (in *Injector) Revives(endpoint int, dump int64) bool {
+	if in == nil || in.DownAt(endpoint, dump) || in.RestartDownAt(endpoint, dump) {
+		return false
+	}
+	for _, r := range in.plan.Restarts {
+		if r.Endpoint == endpoint && dump >= int64(r.revivesAt()) {
+			return true
+		}
+	}
+	return false
+}
+
+// CrashAllAt reports whether the plan crashes the whole staging
+// service mid-dump at dump.
+func (in *Injector) CrashAllAt(dump int64) bool {
+	if in == nil {
+		return false
+	}
+	for _, c := range in.plan.CrashAlls {
+		if int64(c.AtDump) == dump {
 			return true
 		}
 	}

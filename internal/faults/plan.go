@@ -26,10 +26,17 @@ import (
 //	dup:EP:PROB            control messages to EP are duplicated with
 //	                       probability PROB; the copy arrives late, so
 //	                       delivery is duplicated and reordered
+//	restart:EP@DUMP[:DT]   endpoint EP bounces: down for DT dumps
+//	                       (default 1) starting at DUMP, then revives
+//	                       with its memory lost — recovery replays the
+//	                       write-ahead journal
+//	crashall@DUMP          the whole staging service crashes mid-dump
+//	                       DUMP and restarts from its journals before
+//	                       the dump is reduced (correlated failure)
 //
 // EP is a fabric endpoint id or * for every endpoint. Example:
 //
-//	transient:*:0.2;crash:9@1;degrade:3:0-2:4;corrupt:*:0.1:pull;partition:8|9,10@1-2;dup:9:0.3
+//	transient:*:0.2;crash:9@1;degrade:3:0-2:4;corrupt:*:0.1:pull;partition:8|9,10@1-2;dup:9:0.3;restart:10@2:1;crashall@4
 func ParsePlan(spec string, seed int64) (Plan, error) {
 	p := Plan{Seed: seed}
 	directives := 0
@@ -39,6 +46,14 @@ func ParsePlan(spec string, seed int64) (Plan, error) {
 			continue
 		}
 		directives++
+		// crashall is the one colon-free directive: it names no endpoint,
+		// the whole service is its scope.
+		if rest, found := strings.CutPrefix(dir, "crashall@"); found {
+			if err := parseCrashAll(&p, rest); err != nil {
+				return Plan{}, err
+			}
+			continue
+		}
 		kind, rest, ok := strings.Cut(dir, ":")
 		if !ok {
 			return Plan{}, fmt.Errorf("faults: directive %q missing ':'", dir)
@@ -57,8 +72,10 @@ func ParsePlan(spec string, seed int64) (Plan, error) {
 			err = parsePartition(&p, rest)
 		case "dup":
 			err = parseDup(&p, rest)
+		case "restart":
+			err = parseRestart(&p, rest)
 		default:
-			err = fmt.Errorf("faults: unknown directive %q (want crash|transient|degrade|corrupt|partition|dup)", kind)
+			err = fmt.Errorf("faults: unknown directive %q (want crash|transient|degrade|corrupt|partition|dup|restart|crashall)", kind)
 		}
 		if err != nil {
 			return Plan{}, err
@@ -253,6 +270,40 @@ func parsePartition(p *Plan, rest string) error {
 	return nil
 }
 
+func parseRestart(p *Plan, rest string) error {
+	epStr, windowStr, ok := strings.Cut(rest, "@")
+	if !ok {
+		return fmt.Errorf("faults: restart %q wants EP@DUMP[:DOWNTIME]", rest)
+	}
+	ep, err := strconv.Atoi(epStr)
+	if err != nil || ep < 0 {
+		return fmt.Errorf("faults: restart endpoint %q must be a non-negative id", epStr)
+	}
+	dumpStr, dtStr, hasDT := strings.Cut(windowStr, ":")
+	dump, err := strconv.Atoi(dumpStr)
+	if err != nil || dump < 0 {
+		return fmt.Errorf("faults: restart dump %q must be a non-negative integer", dumpStr)
+	}
+	dt := 1
+	if hasDT {
+		dt, err = strconv.Atoi(dtStr)
+		if err != nil || dt < 1 {
+			return fmt.Errorf("faults: restart downtime %q must be a positive dump count", dtStr)
+		}
+	}
+	p.Restarts = append(p.Restarts, Restart{Endpoint: ep, AtDump: dump, Downtime: dt})
+	return nil
+}
+
+func parseCrashAll(p *Plan, rest string) error {
+	dump, err := strconv.Atoi(rest)
+	if err != nil || dump < 0 {
+		return fmt.Errorf("faults: crashall dump %q must be a non-negative integer", rest)
+	}
+	p.CrashAlls = append(p.CrashAlls, CrashAll{AtDump: dump})
+	return nil
+}
+
 func parseDup(p *Plan, rest string) error {
 	epStr, probStr, ok := strings.Cut(rest, ":")
 	if !ok {
@@ -312,6 +363,14 @@ func (p Plan) String() string {
 	}
 	for _, d := range p.Dups {
 		dirs = append(dirs, fmt.Sprintf("dup:%s:%g", epStr(d.Endpoint), d.Prob))
+	}
+	// Downtime renders explicitly so parse -> String -> parse is a
+	// fixed point whether or not the input spelled the default.
+	for _, r := range p.Restarts {
+		dirs = append(dirs, fmt.Sprintf("restart:%d@%d:%d", r.Endpoint, r.AtDump, r.Downtime))
+	}
+	for _, c := range p.CrashAlls {
+		dirs = append(dirs, fmt.Sprintf("crashall@%d", c.AtDump))
 	}
 	return strings.Join(dirs, ";")
 }

@@ -1,12 +1,20 @@
 package ops
 
 import (
+	"encoding/gob"
 	"fmt"
 	"math"
 
 	"predata/internal/ffs"
 	"predata/internal/predata"
 )
+
+// Partials ride inside FetchRequest's any-typed field, which the staging
+// write-ahead journal persists with gob; the concrete type must be
+// registered or a journaled request cannot round-trip a restart.
+func init() {
+	gob.Register(ColumnMinMax{})
+}
 
 // ColumnMinMax is the piggybacked partial result of MinMaxPartial: the
 // local min and max of each requested column.

@@ -125,6 +125,10 @@ func RunElastic(cfg PipelineConfig, ecfg ElasticConfig, computeFn ComputeFunc, o
 		return nil, nil, fmt.Errorf(
 			"predata: elastic runs do not support partition faults; quorum fencing requires the fixed-membership pipeline")
 	}
+	if cfg.FaultPlan != nil && (len(cfg.FaultPlan.Restarts) > 0 || len(cfg.FaultPlan.CrashAlls) > 0) {
+		return nil, nil, fmt.Errorf(
+			"predata: elastic runs do not support restart or crashall faults; journal replay requires the fixed-membership pipeline")
+	}
 	inj, err := newPlanInjector(cfg)
 	if err != nil {
 		return nil, nil, err

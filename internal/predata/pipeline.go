@@ -3,6 +3,7 @@ package predata
 import (
 	"errors"
 	"fmt"
+	"path/filepath"
 	"slices"
 	"sort"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"predata/internal/mpi"
 	"predata/internal/staging"
 	"predata/internal/trace"
+	"predata/internal/wal"
 )
 
 // PipelineConfig describes a complete compute + staging job sharing one
@@ -66,6 +68,18 @@ type PipelineConfig struct {
 	// directory and escalation limits). Its BudgetBytes field is ignored —
 	// the budget always derives from BufferMB.
 	Overload flowctl.Policy
+	// WALDir, when non-empty, turns on durable staging: every staging
+	// rank keeps a write-ahead journal under WALDir/rank-N, recording
+	// fetch requests and pulled chunks on arrival and sealing each
+	// completed dump with a commit record. A journal left behind by a
+	// previous incarnation is recovered on start. Required for plans
+	// with restart or crashall faults — bounced ranks rebuild from it.
+	WALDir string
+	// CheckpointEvery, when positive, writes a dump-boundary checkpoint
+	// every CheckpointEvery dumps and truncates the journal down to the
+	// records the checkpoint does not cover, bounding journal growth.
+	// Ignored without WALDir.
+	CheckpointEvery int
 	// Tracer, when non-nil, flight-records the run: fabric operations,
 	// staging engine stages, collectives, flow-control decisions and
 	// recovery events all land in its ring buffers, ready for export or
@@ -121,6 +135,21 @@ type FaultReport struct {
 	CrashedStaging []int
 	// RecoveryWall is the total membership-reconfiguration time.
 	RecoveryWall time.Duration
+	// Restarts counts journal-backed rank revivals: each restart-window
+	// rejoin and each rank's rebuild inside a crashall drill.
+	Restarts int64
+	// WalRecords/WalBytes total the records and framed bytes appended to
+	// the write-ahead journals; JournalWall is the cumulative wall time
+	// inside journal appends, syncs and checkpoints — the durability
+	// overhead the restart experiment measures.
+	WalRecords  int64
+	WalBytes    int64
+	JournalWall time.Duration
+	// WalReplayed counts chunks decoded out of a journal instead of
+	// pulled over the fabric; Checkpoints counts checkpoint+truncate
+	// cycles across all ranks.
+	WalReplayed int64
+	Checkpoints int64
 }
 
 // OverloadReport aggregates the flow controllers' throttle/spill/shed
@@ -321,28 +350,79 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 			}
 			flow.SetTracer(cfg.Tracer, world.Rank())
 		}
-		engine := staging.NewEngine(cfg.Engine)
-		engine.SetTracer(cfg.Tracer, world.Rank())
-		server, err := NewServer(ServerConfig{
-			StagingIndex:    myIdx,
-			Comm:            comm,
-			Endpoint:        ep,
-			NumCompute:      cfg.NumCompute,
-			NumStaging:      cfg.NumStaging,
-			StagingBase:     cfg.NumCompute,
-			Route:           cfg.Route,
-			Aggregate:       cfg.Aggregate,
-			Engine:          engine,
-			PullConcurrency: cfg.PullConcurrency,
-			ChunkOrder:      cfg.ChunkOrder,
-			ChunkFilter:     cfg.ChunkFilter,
-			Faults:          inj,
-			Retry:           cfg.Retry,
-			Flow:            flow,
-			Tracer:          cfg.Tracer,
-		})
+		// Durable staging: recover whatever a previous incarnation's
+		// journal holds (recovery-on-start), then open for appending.
+		// Each restart/crashall rebuild below repeats the same sequence.
+		var journal *wal.Log
+		var walDir string
+		var startState *wal.State
+		// foldJournal banks the current handle's append totals into the
+		// run report; called before every Close so bounced handles are
+		// not lost.
+		foldJournal := func() {
+			if journal == nil {
+				return
+			}
+			reportMu.Lock()
+			report.WalRecords += journal.Records()
+			report.WalBytes += journal.Bytes()
+			report.JournalWall += journal.Wall()
+			reportMu.Unlock()
+		}
+		// The rank owns whichever handle `journal` holds at exit —
+		// including ones the restart paths below re-open — so the
+		// shutdown closure is registered before any of them, on every
+		// path.
+		defer func() {
+			foldJournal()
+			if journal != nil {
+				_ = journal.Close()
+			}
+		}()
+		if cfg.WALDir != "" {
+			walDir = filepath.Join(cfg.WALDir, fmt.Sprintf("rank-%d", world.Rank()))
+			startState, err = wal.Recover(walDir)
+			if err != nil {
+				return err
+			}
+			journal, err = wal.Open(walDir)
+			if err != nil {
+				return err
+			}
+		}
+		// mkServer builds a fresh runtime incarnation around the current
+		// journal handle — once at start, and again after every rebuild.
+		mkServer := func(c *mpi.Comm) (*Server, error) {
+			engine := staging.NewEngine(cfg.Engine)
+			engine.SetTracer(cfg.Tracer, world.Rank())
+			return NewServer(ServerConfig{
+				StagingIndex:    myIdx,
+				Comm:            c,
+				Endpoint:        ep,
+				NumCompute:      cfg.NumCompute,
+				NumStaging:      cfg.NumStaging,
+				StagingBase:     cfg.NumCompute,
+				Route:           cfg.Route,
+				Aggregate:       cfg.Aggregate,
+				Engine:          engine,
+				PullConcurrency: cfg.PullConcurrency,
+				ChunkOrder:      cfg.ChunkOrder,
+				ChunkFilter:     cfg.ChunkFilter,
+				Faults:          inj,
+				Retry:           cfg.Retry,
+				Flow:            flow,
+				Journal:         journal,
+				Tracer:          cfg.Tracer,
+			})
+		}
+		server, err := mkServer(comm)
 		if err != nil {
 			return err
+		}
+		if startState != nil {
+			if _, err := server.Recover(startState); err != nil {
+				return err
+			}
 		}
 		results := make([]*staging.Result, 0, cfg.Dumps)
 		stats := make([]*DumpStats, 0, cfg.Dumps)
@@ -350,21 +430,25 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 		prevLive := liveStagingAt(nil, cfg.NumCompute, cfg.NumStaging, 0) // everyone
 		prevActive := prevLive
 		hasPartitions := cfg.FaultPlan != nil && len(cfg.FaultPlan.Partitions) > 0
+		hasRestarts := cfg.FaultPlan != nil && len(cfg.FaultPlan.Restarts) > 0
+		hasWindows := hasPartitions || hasRestarts
 		fenced := false
+		parked := false
 		epoch := int64(-1)
 		for dump := 0; dump < cfg.Dumps; dump++ {
 			// Membership is dump-aligned and derived from the shared plan.
 			// Crashes shrink the alive communicator: the dying rank splits
 			// out (color < 0 — MPI_UNDEFINED), drops off the fabric, and
 			// exits cleanly with the dumps it served. Partitions fence
-			// alive ranks that cannot reach a staging quorum: the active
-			// communicator — alive minus fenced — is re-split from the
-			// alive one at every membership boundary, so a fenced rank
-			// parks (still answering splits) and rejoins the collective
-			// the moment its window closes.
+			// alive ranks that cannot reach a staging quorum, and restart
+			// windows park ranks mid-bounce: the active communicator —
+			// alive minus fenced/parked — is re-split from the alive one
+			// at every membership boundary, so an inactive rank parks
+			// (still answering splits) and rejoins the collective the
+			// moment its window closes.
 			nowLive := liveStagingAt(inj, cfg.NumCompute, cfg.NumStaging, int64(dump))
 			nowActive := nowLive
-			if hasPartitions {
+			if hasWindows {
 				nowActive = activeStagingAt(inj, cfg.NumCompute, cfg.NumStaging, int64(dump))
 			}
 			if !slices.Equal(nowLive, prevLive) || !slices.Equal(nowActive, prevActive) {
@@ -394,20 +478,22 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 				}
 				active := alive
 				amActive := contains(nowActive, myIdx)
-				if hasPartitions {
-					// Dump-aligned probe: how many live peers this rank
-					// reaches, and whether that is a strict majority.
-					reach := int64(0)
-					for _, j := range nowLive {
-						if j == myIdx || !inj.Unreachable(cfg.NumCompute+myIdx, cfg.NumCompute+j, int64(dump)) {
-							reach++
+				if hasWindows {
+					if hasPartitions {
+						// Dump-aligned probe: how many live peers this rank
+						// reaches, and whether that is a strict majority.
+						reach := int64(0)
+						for _, j := range nowLive {
+							if j == myIdx || !inj.Unreachable(cfg.NumCompute+myIdx, cfg.NumCompute+j, int64(dump)) {
+								reach++
+							}
 						}
+						quorum := int64(0)
+						if amActive {
+							quorum = 1
+						}
+						cfg.Tracer.Instant(trace.PhaseProbe, world.Rank(), -1, int64(dump), reach, quorum)
 					}
-					quorum := int64(0)
-					if amActive {
-						quorum = 1
-					}
-					cfg.Tracer.Instant(trace.PhaseProbe, world.Rank(), -1, int64(dump), reach, quorum)
 					fcolor := 0
 					if !amActive {
 						fcolor = 1
@@ -421,6 +507,47 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 				}
 				epoch++
 				if amActive {
+					if parked {
+						// Revival: rejoin the fabric, recover the journal
+						// the bounced incarnation sealed at shutdown, and
+						// rebuild the runtime around the replayed state.
+						if err := fab.ReviveEndpoint(world.Rank()); err != nil {
+							rsp.End(0)
+							return err
+						}
+						st, err := wal.Recover(walDir)
+						if err != nil {
+							rsp.End(0)
+							return err
+						}
+						// The park above always folds and seals the handle
+						// before fencing; guard anyway so no edit can leak
+						// a live journal into the rebind below.
+						if journal != nil {
+							foldJournal()
+							_ = journal.Close()
+						}
+						journal, err = wal.Open(walDir)
+						if err != nil {
+							rsp.End(0)
+							return err
+						}
+						server, err = mkServer(active)
+						if err != nil {
+							rsp.End(0)
+							return err
+						}
+						replayed, err := server.Recover(st)
+						if err != nil {
+							rsp.End(0)
+							return err
+						}
+						reportMu.Lock()
+						report.Restarts++
+						reportMu.Unlock()
+						cfg.Tracer.Instant(trace.PhaseRestart, world.Rank(), -1, int64(dump), epoch, int64(replayed))
+						parked = false
+					}
 					if fenced {
 						// Heal: the membership epoch advanced past the
 						// fence window, and every in-window request census
@@ -436,11 +563,50 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 						rsp.End(0)
 						return fmt.Errorf("staging rank %d reconfigure at dump %d: %w", myIdx, dump, err)
 					}
+				} else if hasRestarts && inj.RestartDownAt(cfg.NumCompute+myIdx, int64(dump)) {
+					if !parked {
+						// Controlled bounce at the dump boundary: drain
+						// in-flight requests into the journal (buffered
+						// pending ones are already there), seal it, and
+						// drop off the fabric for the window.
+						for _, m := range ep.DrainCtl() {
+							if req, ok := m.Data.(FetchRequest); ok {
+								if err := server.journalRequest(req); err != nil {
+									rsp.End(0)
+									return err
+								}
+							}
+						}
+						foldJournal()
+						if journal != nil {
+							if err := journal.Close(); err != nil {
+								rsp.End(0)
+								return err
+							}
+							journal = nil
+						}
+						if err := fab.FailEndpoint(world.Rank()); err != nil {
+							rsp.End(0)
+							return err
+						}
+						parked = true
+					}
 				} else {
 					fenced = true
 				}
 				rsp.End(int64(len(nowActive)))
 				prevLive, prevActive = nowLive, nowActive
+			}
+			if parked {
+				// Down for the bounce: the process is gone for these dumps
+				// and its writers rerouted. Placeholder entries keep dump
+				// indices aligned across ranks.
+				results = append(results, &staging.Result{
+					PerOperator: map[string]map[string]any{},
+					Degraded:    true,
+				})
+				stats = append(stats, &DumpStats{Down: true, Degraded: true})
+				continue
 			}
 			if fenced {
 				// Sat out: alive but without quorum. Placeholder entries
@@ -455,12 +621,97 @@ func RunPipeline(cfg PipelineConfig, computeFn ComputeFunc, opsFor OperatorFacto
 				stats = append(stats, &DumpStats{Fenced: true, Degraded: true})
 				continue
 			}
+			if journal != nil && inj.CrashAllAt(int64(dump)) {
+				// Whole-service crash drill, in three acts. Act 1: the
+				// crash-vulnerable half — gather and pull this dump,
+				// journaling everything, with no collective or engine
+				// work (the state a process holds when the crash lands).
+				ist, err := server.IngestDump(int64(dump))
+				if err != nil {
+					return fmt.Errorf("staging rank %d crashall ingest at dump %d: %w", myIdx, dump, err)
+				}
+				// Act 2: the crash itself. Every incarnation's in-memory
+				// state is gone; only the journal survives. Rebuild the
+				// runtime from recovery under a fresh membership epoch
+				// (membership itself is unchanged — everyone died and
+				// everyone came back).
+				recStart := time.Now()
+				foldJournal()
+				if err := journal.Close(); err != nil {
+					return fmt.Errorf("staging rank %d crashall at dump %d: %w", myIdx, dump, err)
+				}
+				wst, err := wal.Recover(walDir)
+				if err != nil {
+					return err
+				}
+				journal, err = wal.Open(walDir)
+				if err != nil {
+					return err
+				}
+				server, err = mkServer(alive)
+				if err != nil {
+					return err
+				}
+				replayed, err := server.Recover(wst)
+				if err != nil {
+					return err
+				}
+				epoch++
+				if err := server.Reconfigure(alive, epoch, time.Since(recStart)); err != nil {
+					return fmt.Errorf("staging rank %d crashall reconfigure at dump %d: %w", myIdx, dump, err)
+				}
+				reportMu.Lock()
+				report.Restarts++
+				reportMu.Unlock()
+				cfg.Tracer.Instant(trace.PhaseRestart, world.Rank(), -1, int64(dump), epoch, int64(replayed))
+				// Act 3: finish the dump out of the journal — partials
+				// from the recovered requests, chunks from the recovered
+				// records, no fabric pull.
+				r, st, err := server.ReplayDump(int64(dump), opsFor(dump))
+				if err != nil {
+					return fmt.Errorf("staging rank %d crashall replay at dump %d: %w", myIdx, dump, err)
+				}
+				// The movement costs were paid by the crashed incarnation
+				// during ingest; fold them into the dump's ledger.
+				st.Requests = ist.Requests
+				st.Redistributed = ist.Redistributed
+				st.BytesPulled += ist.BytesPulled
+				st.PullModeled += ist.PullModeled
+				st.Retries += ist.Retries
+				st.CorruptPulls += ist.CorruptPulls
+				st.HedgedPulls += ist.HedgedPulls
+				st.HedgeWins += ist.HedgeWins
+				st.GatherWall = ist.GatherWall
+				if ist.Drops > 0 || ist.CorruptDrops > 0 {
+					st.Drops += ist.Drops
+					st.CorruptDrops += ist.CorruptDrops
+					r.Degraded = true
+					st.Degraded = true
+				}
+				results = append(results, r)
+				stats = append(stats, st)
+				continue
+			}
 			r, st, err := server.ServeDump(int64(dump), opsFor(dump))
 			if err != nil {
 				return fmt.Errorf("staging rank %d dump %d: %w", myIdx, dump, err)
 			}
 			results = append(results, r)
 			stats = append(stats, st)
+			if journal != nil && cfg.CheckpointEvery > 0 && (dump+1)%cfg.CheckpointEvery == 0 {
+				// Dump-boundary checkpoint: everything below dump+1 is
+				// reduced and committed, so the journal compacts down to
+				// the records the checkpoint does not cover.
+				kept, err := journal.WriteCheckpoint(wal.Checkpoint{Epoch: epoch, NextDump: int64(dump) + 1})
+				if err != nil {
+					return fmt.Errorf("staging rank %d checkpoint at dump %d: %w", myIdx, dump, err)
+				}
+				cfg.Tracer.Instant(trace.PhaseCheckpoint, world.Rank(), -1, int64(dump), int64(dump)+1, 0)
+				cfg.Tracer.Instant(trace.PhaseWalTruncate, world.Rank(), -1, int64(dump), int64(dump)+1, int64(kept))
+				reportMu.Lock()
+				report.Checkpoints++
+				reportMu.Unlock()
+			}
 		}
 		res.StagingResults[myIdx] = results
 		res.StagingStats[myIdx] = stats
@@ -510,6 +761,25 @@ func newPlanInjector(cfg PipelineConfig) (*faults.Injector, error) {
 			}
 		}
 	}
+	if (len(cfg.FaultPlan.Restarts) > 0 || len(cfg.FaultPlan.CrashAlls) > 0) && cfg.WALDir == "" {
+		return nil, fmt.Errorf(
+			"predata: plan has restart/crashall faults but no WALDir — bounced ranks need a journal to rebuild from")
+	}
+	for _, r := range cfg.FaultPlan.Restarts {
+		if r.Endpoint < cfg.NumCompute || r.Endpoint >= total {
+			return nil, fmt.Errorf(
+				"predata: restart endpoint %d is not a staging endpoint [%d,%d)",
+				r.Endpoint, cfg.NumCompute, total)
+		}
+		// Every window dump must keep at least one rank serving, or the
+		// writers routed around the bounce have nowhere to go.
+		for d := r.AtDump; d < r.AtDump+r.Downtime; d++ {
+			if len(activeStagingAt(inj, cfg.NumCompute, cfg.NumStaging, int64(d))) == 0 {
+				return nil, fmt.Errorf(
+					"predata: plan leaves no active staging rank at dump %d (every rank crashed, fenced, or restarting)", d)
+			}
+		}
+	}
 	return inj, nil
 }
 
@@ -548,6 +818,7 @@ func finishReports(cfg *PipelineConfig, inj *faults.Injector, report *FaultRepor
 			if st.Degraded {
 				report.DegradedDumps++
 			}
+			report.WalReplayed += int64(st.WalReplayed)
 			report.RecoveryWall += st.RecoveryWall
 		}
 	}
@@ -556,7 +827,8 @@ func finishReports(cfg *PipelineConfig, inj *faults.Injector, report *FaultRepor
 	// layer still acted — e.g. hedged pulls against a noisy paced fabric,
 	// which are straggler protection, not a response to injected faults.
 	if inj != nil || report.Retries != 0 || report.HedgedPulls != 0 ||
-		report.Drops != 0 || report.Redistributed != 0 || report.DegradedDumps != 0 {
+		report.Drops != 0 || report.Redistributed != 0 || report.DegradedDumps != 0 ||
+		report.WalRecords != 0 {
 		res.Fault = report
 	}
 	if cfg.BufferMB > 0 {

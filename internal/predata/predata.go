@@ -33,6 +33,7 @@ import (
 	"predata/internal/mpi"
 	"predata/internal/staging"
 	"predata/internal/trace"
+	"predata/internal/wal"
 )
 
 // FetchRequest is the control message a compute rank sends to its staging
@@ -265,11 +266,27 @@ func (c *Client) Write(schema *ffs.Schema, rec ffs.Record, timestep int64) (time
 
 // sendWithRetry dispatches the fetch request, retrying transient faults
 // with capped exponential backoff. Non-transient failures (crashed
-// endpoint, fabric shutdown) propagate immediately.
+// endpoint, fabric shutdown) propagate immediately — with one carve-out:
+// when the shared plan says the down destination revives before this
+// request's dump (a restart bounce, not a crash), the client waits the
+// downtime out under the dump deadline. The revived rank recovers its
+// journal and still expects this request.
 func (c *Client) sendWithRetry(dst int, req FetchRequest) error {
+	deadline := time.Now().Add(c.retry.DumpDeadline)
 	for attempt := 0; ; attempt++ {
 		err := c.cfg.Endpoint.SendCtl(dst, req)
-		if err == nil || !errors.Is(err, faults.ErrTransient) || attempt+1 >= c.retry.MaxAttempts {
+		switch {
+		case err == nil:
+			return nil
+		case errors.Is(err, faults.ErrTransient):
+			if attempt+1 >= c.retry.MaxAttempts {
+				return err
+			}
+		case errors.Is(err, faults.ErrEndpointDown) && c.cfg.Faults.Revives(dst, req.Timestep):
+			if time.Now().After(deadline) {
+				return fmt.Errorf("predata: endpoint %d still down past the dump deadline awaiting its restart: %w", dst, err)
+			}
+		default:
 			return err
 		}
 		c.Retries++
@@ -343,6 +360,14 @@ type ServerConfig struct {
 	// behavior). With Flow set, the dump is also bounded by the retry
 	// policy's DumpDeadline, since admission waits must have a horizon.
 	Flow *flowctl.Controller
+	// Journal, when non-nil, is this rank's write-ahead log. Every fetch
+	// request is journaled as it arrives and every pulled chunk's packed
+	// bytes are journaled before the chunk enters the stone graph, so a
+	// crashed incarnation's successor can replay the dump instead of
+	// losing it; a commit record seals each completed dump and lets
+	// recovery dedupe against work the engine already retired. Nil runs
+	// without durability (the pre-journal behavior).
+	Journal *wal.Log
 	// Tracer, when non-nil, records gather/aggregate spans and retry
 	// instants into the flight recorder. ServeDump also stamps the
 	// engine, communicator, and fabric endpoint with the current dump
@@ -383,6 +408,12 @@ type DumpStats struct {
 	// Fenced marks a dump this rank sat out because a partition cut it
 	// off from the staging quorum: alive, but not serving.
 	Fenced bool
+	// Down marks a dump this rank sat out inside a restart window: the
+	// process was bounced and its writers were rerouted until revival.
+	Down bool
+	// WalReplayed counts chunks this dump decoded out of the journal
+	// instead of pulling them over the fabric (crash-restart replay).
+	WalReplayed int
 	// Degraded mirrors the dump result's Degraded mark.
 	Degraded bool
 	// RecoveryWall is the time this rank spent reconfiguring membership
@@ -406,6 +437,9 @@ type Server struct {
 	pending map[int64][]FetchRequest
 	// servedBy caches the per-timestep served set under crash rerouting.
 	servedBy map[int64][]int
+	// replayable holds journaled chunk records recovered from a crashed
+	// incarnation's log, keyed by timestep, awaiting ReplayDump.
+	replayable map[int64][]wal.Record
 	// recovery accumulates membership-reconfiguration wall time, reported
 	// on the next served dump.
 	recovery time.Duration
@@ -438,11 +472,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		cfg.StagingBase = cfg.NumCompute
 	}
 	s := &Server{
-		cfg:      cfg,
-		retry:    cfg.Retry.withDefaults(),
-		pending:  make(map[int64][]FetchRequest),
-		servedBy: make(map[int64][]int),
-		epoch:    -1,
+		cfg:        cfg,
+		retry:      cfg.Retry.withDefaults(),
+		pending:    make(map[int64][]FetchRequest),
+		servedBy:   make(map[int64][]int),
+		replayable: make(map[int64][]wal.Record),
+		epoch:      -1,
 	}
 	for r := 0; r < cfg.NumCompute; r++ {
 		if cfg.Route(r, cfg.NumCompute, cfg.NumStaging) == cfg.StagingIndex {
@@ -488,7 +523,8 @@ func (s *Server) servedAt(timestep int64) ([]int, error) {
 		return served, nil
 	}
 	if s.cfg.Faults == nil ||
-		(len(s.cfg.Faults.Plan().Crashes) == 0 && len(s.cfg.Faults.Plan().Partitions) == 0) {
+		(len(s.cfg.Faults.Plan().Crashes) == 0 && len(s.cfg.Faults.Plan().Partitions) == 0 &&
+			len(s.cfg.Faults.Plan().Restarts) == 0) {
 		return s.served, nil
 	}
 	if cached, ok := s.servedBy[timestep]; ok {
@@ -569,56 +605,10 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	// area is collective, so one wedged gather wedges every rank.
 	start := time.Now()
 	sp := s.cfg.Tracer.Begin(trace.PhaseGather, s.cfg.Endpoint.ID(), -1, timestep, -1)
-	served, err := s.servedAt(timestep)
+	reqs, err := s.gatherRequests(timestep, stats)
 	if err != nil {
 		sp.End(0)
 		return nil, nil, err
-	}
-	var deadline time.Time
-	if s.cfg.Faults != nil || s.cfg.Membership != nil {
-		deadline = start.Add(s.retry.DumpDeadline)
-	}
-	reqs := s.pending[timestep]
-	delete(s.pending, timestep)
-	got := make(map[int]bool, len(served))
-	for _, r := range reqs {
-		got[r.WriterRank] = true
-	}
-	servedSet := make(map[int]bool, len(served))
-	for _, w := range served {
-		servedSet[w] = true
-	}
-	for len(reqs) < len(served) {
-		req, err := s.recvRequest(deadline, stats)
-		if err != nil {
-			sp.End(0)
-			return nil, nil, err
-		}
-		if req.Timestep == timestep {
-			reqs = append(reqs, req)
-			got[req.WriterRank] = true
-			continue
-		}
-		s.pending[req.Timestep] = append(s.pending[req.Timestep], req)
-		// Each client sends its dump requests in timestep order and the
-		// fabric preserves per-sender ordering, so a writer this dump
-		// still awaits that has already delivered a *later* timestep here
-		// will never deliver this one — its request went to another rank
-		// under a diverged census. Fail fast instead of deadlocking the
-		// collective staging area. (A writer served elsewhere this dump
-		// may freely race ahead; only the awaited ones are checked.)
-		if req.Timestep > timestep && servedSet[req.WriterRank] && !got[req.WriterRank] {
-			sp.End(0)
-			return nil, nil, fmt.Errorf(
-				"predata: ServeDump(%d) still awaits writer %d's request, but it already sent timestep %d",
-				timestep, req.WriterRank, req.Timestep)
-		}
-	}
-	stats.Requests = len(reqs)
-	for _, r := range reqs {
-		if s.cfg.Route(r.WriterRank, s.cfg.NumCompute, s.cfg.NumStaging) != s.cfg.StagingIndex {
-			stats.Redistributed++
-		}
 	}
 	sp.End(int64(len(reqs)))
 	stats.GatherWall = time.Since(start)
@@ -814,6 +804,16 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 				stats.BytesPulled += int64(len(buf))
 				stats.PullModeled += d
 				pullMu.Unlock()
+				// Durability point: the chunk's bytes hit the journal before
+				// the stone graph sees them, so a crash anywhere downstream
+				// can replay instead of re-pulling a long-released region.
+				if jerr := s.journalChunk(req, buf); jerr != nil {
+					if adm != nil {
+						adm.Abort()
+					}
+					s.recordPullErr(&pullMu, &pullErr, jerr)
+					continue
+				}
 				if err := s.routePulled(ctx, decode, adm, req, buf); err != nil {
 					s.recordPullErr(&pullMu, &pullErr, err)
 				}
@@ -868,6 +868,9 @@ func (s *Server) ServeDump(timestep int64, ops []staging.Operator) (*staging.Res
 	}
 	if err != nil {
 		return nil, stats, err
+	}
+	if cerr := s.commitDump(timestep); cerr != nil {
+		return nil, stats, cerr
 	}
 	res.Degraded = res.Degraded || stats.Drops > 0 || stats.CorruptDrops > 0 ||
 		(stats.Overload != nil && stats.Overload.PassedChunks > 0) ||

@@ -123,18 +123,25 @@ func stagingQuorumAt(inj *faults.Injector, stagingBase int, live []int, i int, d
 
 // activeStagingAt returns the staging indices that serve dumps at dump:
 // the live (uncrashed) set, minus ranks a partition fences away from
-// the staging-side quorum. With no partitions in the plan it is exactly
-// liveStagingAt, so crash-only schedules keep their behavior.
+// the staging-side quorum, minus ranks sitting out a restart window
+// (down for the bounce but still live membership — they rejoin with
+// their journal). With no partitions or restarts in the plan it is
+// exactly liveStagingAt, so crash-only schedules keep their behavior.
 func activeStagingAt(inj *faults.Injector, stagingBase, numStaging int, dump int64) []int {
 	live := liveStagingAt(inj, stagingBase, numStaging, dump)
-	if inj == nil || len(inj.Plan().Partitions) == 0 {
+	if inj == nil || (len(inj.Plan().Partitions) == 0 && len(inj.Plan().Restarts) == 0) {
 		return live
 	}
+	hasPartitions := len(inj.Plan().Partitions) > 0
 	active := make([]int, 0, len(live))
 	for _, i := range live {
-		if stagingQuorumAt(inj, stagingBase, live, i, dump) {
-			active = append(active, i)
+		if inj.RestartDownAt(stagingBase+i, dump) {
+			continue
 		}
+		if hasPartitions && !stagingQuorumAt(inj, stagingBase, live, i, dump) {
+			continue
+		}
+		active = append(active, i)
 	}
 	return active
 }

@@ -84,6 +84,12 @@ const (
 	PhaseHeal          // predata: fenced rank rejoined the serving set (Seq = epoch installed)
 	PhaseHedge         // predata: hedged pull launched (Endpoint = source, Seq = writer)
 	PhaseHedgeCancel   // predata: hedge race resolved, losing attempt cancelled (Endpoint = source, Seq = writer, Arg = 1 hedge won)
+	PhaseJournal       // wal: record appended to the staging journal (Seq = writer, Arg = payload crc32)
+	PhaseWalCommit     // wal: dump commit record fsynced (Dump = committed dump)
+	PhaseCheckpoint    // wal: dump-boundary checkpoint written (Seq = first dump NOT covered)
+	PhaseWalTruncate   // wal: journal truncated behind a checkpoint (Seq = first dump kept, Arg = records kept)
+	PhaseWalReplay     // predata: journaled chunk re-entered the pipeline after a restart (Seq = writer, Arg = payload crc32)
+	PhaseRestart       // pipeline: rank rejoined after a restart or crashall recovery (Seq = epoch installed, Arg = records replayed)
 )
 
 // phaseNames maps phases to stable lowercase names used by the Chrome
@@ -133,6 +139,12 @@ var phaseNames = [...]string{
 	PhaseHeal:          "heal",
 	PhaseHedge:         "hedge",
 	PhaseHedgeCancel:   "hedge-cancel",
+	PhaseJournal:       "journal",
+	PhaseWalCommit:     "wal-commit",
+	PhaseCheckpoint:    "checkpoint",
+	PhaseWalTruncate:   "wal-truncate",
+	PhaseWalReplay:     "wal-replay",
+	PhaseRestart:       "restart",
 }
 
 // String returns the stable lowercase name of the phase.

@@ -22,6 +22,9 @@ type VerifyReport struct {
 	CorruptChecks    int      // corrupt-dropped (dump, writer) pairs quarantine-checked
 	HealChecks       int      // (dump, writer) pairs checked for double-processing across heals
 	HedgeChecks      int      // (rank, dump, writer) hedge races checked for resolution
+	WALChecks        int      // (dump, writer) wal-replay events matched against journal appends
+	RestartChecks    int      // (dump, writer) pairs checked for double-processing across restarts
+	CheckpointChecks int      // journal truncations checked for a covering checkpoint
 	Violations       []string // human-readable invariant failures
 }
 
@@ -64,6 +67,19 @@ type VerifyReport struct {
 //     launched (PhaseHedge) resolved its race (PhaseHedgeCancel, which
 //     cancels the losing attempt), and no resolution appears without a
 //     launch: hedge attempts cannot leak past the race.
+//  10. WAL replay fidelity — on recordings containing a journal replay
+//     (PhaseWalReplay), every replayed (dump, writer) chunk matches a
+//     journal append (PhaseJournal) with the same payload checksum:
+//     recovery re-enters exactly the bytes that were journaled, never
+//     an invented or mutated chunk.
+//  11. Restart exclusivity — on recordings containing a restart
+//     (PhaseRestart), no (dump, writer) chunk is engine-retired more
+//     than once: the journal's commit dedup keeps a recovered
+//     incarnation from re-reducing dumps the crashed one completed.
+//  12. Checkpoint-before-truncate — per rank, every journal truncation
+//     (PhaseWalTruncate) is preceded by a checkpoint (PhaseCheckpoint)
+//     covering at least the dumps the truncation discarded: journal
+//     bytes only disappear behind a durable checkpoint.
 //
 // It returns an error when the recording is unusable (nil, empty, or
 // lossy — dropped events could hide a violation) or when any
@@ -95,6 +111,9 @@ func Verify(rec *Recording) (*VerifyReport, error) {
 	verifyCorruptionQuarantine(rec, rep)
 	verifyHealExclusivity(rec, rep)
 	verifyHedgeResolution(rec, rep)
+	verifyWalReplayFidelity(rec, rep)
+	verifyRestartExclusivity(rec, rep)
+	verifyCheckpointOrder(rec, rep)
 	if len(rep.Violations) > 0 {
 		return rep, fmt.Errorf("trace: %d invariant violation(s):\n  %s",
 			len(rep.Violations), strings.Join(rep.Violations, "\n  "))
@@ -667,6 +686,144 @@ func verifyHedgeResolution(rec *Recording, rep *VerifyReport) {
 		if launched[k] != resolved[k] {
 			rep.fail("rank %d dump %d writer %d: %d hedge launches but %d resolutions — a hedged attempt outlived its race",
 				k.rank, k.dump, k.writer, launched[k], resolved[k])
+		}
+	}
+}
+
+// verifyWalReplayFidelity applies to recordings that contain a journal
+// replay: every chunk recovery re-enters into the pipeline
+// (PhaseWalReplay, Arg = payload crc32) must match a journal append
+// (PhaseJournal) for the same (dump, writer) with the same checksum.
+// A replay without a matching append means recovery fabricated bytes;
+// a checksum mismatch means the journal round trip mutated them.
+func verifyWalReplayFidelity(rec *Recording, rep *VerifyReport) {
+	type dw struct {
+		dump   int64
+		writer int64
+	}
+	journaled := map[dw]map[int64]bool{}
+	var replays []int
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		switch e.Phase {
+		case PhaseJournal:
+			k := dw{e.Dump, e.Seq}
+			if journaled[k] == nil {
+				journaled[k] = map[int64]bool{}
+			}
+			journaled[k][e.Arg] = true
+		case PhaseWalReplay:
+			replays = append(replays, i)
+		}
+	}
+	for _, i := range replays {
+		e := &rec.Events[i]
+		rep.WALChecks++
+		k := dw{e.Dump, e.Seq}
+		if len(journaled[k]) == 0 {
+			rep.fail("dump %d: writer %d's chunk replayed from the journal without any recorded append",
+				e.Dump, e.Seq)
+			continue
+		}
+		if !journaled[k][e.Arg] {
+			rep.fail("dump %d: writer %d's replayed chunk checksum %#x matches no journal append",
+				e.Dump, e.Seq, uint32(e.Arg))
+		}
+	}
+}
+
+// verifyRestartExclusivity applies to recordings that contain a restart
+// recovery (PhaseRestart): a recovered incarnation replays the journal
+// tail and dedupes against committed dumps, so per (dump, writer) the
+// chunk must be engine-retired at most once across all ranks and both
+// incarnations — the journal's commit records make re-reducing a
+// completed dump impossible, and the trace must agree.
+func verifyRestartExclusivity(rec *Recording, rep *VerifyReport) {
+	hasRestart := false
+	for i := range rec.Events {
+		if rec.Events[i].Phase == PhaseRestart {
+			hasRestart = true
+			break
+		}
+	}
+	if !hasRestart {
+		return
+	}
+	type dw struct {
+		dump   int64
+		writer int64
+	}
+	processed := map[dw]int{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if e.Phase == PhaseChunk && e.Dump >= 0 {
+			processed[dw{e.Dump, e.Seq}]++
+		}
+	}
+	keys := make([]dw, 0, len(processed))
+	for k := range processed {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dump != keys[j].dump {
+			return keys[i].dump < keys[j].dump
+		}
+		return keys[i].writer < keys[j].writer
+	})
+	for _, k := range keys {
+		rep.RestartChecks++
+		if n := processed[k]; n > 1 {
+			rep.fail("dump %d: writer %d's chunk processed %d times across a restart — journal dedup failed",
+				k.dump, k.writer, n)
+		}
+	}
+}
+
+// verifyCheckpointOrder checks the durability ordering of journal
+// compaction: per rank, in time order, every truncation (PhaseWalTruncate,
+// Seq = first dump kept) must be preceded by a checkpoint
+// (PhaseCheckpoint, Seq = first dump not covered) that covers at least
+// everything the truncation discards — records may only leave the
+// journal once a durable checkpoint subsumes them.
+func verifyCheckpointOrder(rec *Recording, rep *VerifyReport) {
+	type mark struct {
+		start int64
+		phase Phase
+		seq   int64
+	}
+	byRank := map[int32][]mark{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if e.Phase != PhaseCheckpoint && e.Phase != PhaseWalTruncate {
+			continue
+		}
+		byRank[e.Rank] = append(byRank[e.Rank], mark{start: e.Start, phase: e.Phase, seq: e.Seq})
+	}
+	ranks := make([]int32, 0, len(byRank))
+	for r := range byRank {
+		ranks = append(ranks, r)
+	}
+	sort.Slice(ranks, func(i, j int) bool { return ranks[i] < ranks[j] })
+	for _, r := range ranks {
+		marks := byRank[r]
+		sort.SliceStable(marks, func(i, j int) bool { return marks[i].start < marks[j].start })
+		covered := int64(-1) // highest first-uncovered dump checkpointed so far
+		for _, m := range marks {
+			if m.phase == PhaseCheckpoint {
+				if m.seq > covered {
+					covered = m.seq
+				}
+				continue
+			}
+			rep.CheckpointChecks++
+			if covered < 0 {
+				rep.fail("rank %d: journal truncated (keeping dumps >= %d) with no prior checkpoint", r, m.seq)
+				continue
+			}
+			if m.seq > covered {
+				rep.fail("rank %d: journal truncated keeping dumps >= %d but the latest checkpoint covers only dumps < %d",
+					r, m.seq, covered)
+			}
 		}
 	}
 }
