@@ -1,7 +1,7 @@
 GO ?= go
 VET_BIN := bin/predata-vet
 
-.PHONY: all build test race fmt vet vet-fixtures bench-smoke trace-test elastic-soak adversary-soak restart-soak evaluation clean
+.PHONY: all build test race fmt vet vet-fixtures bench-smoke trace-test elastic-soak adversary-soak restart-soak serve-soak evaluation clean
 
 all: build vet test
 
@@ -73,6 +73,17 @@ restart-soak:
 	$(GO) test -race -shuffle=on -count=1 ./internal/wal/
 	$(GO) test -race -shuffle=on -count=1 -run 'Restart|CrashAll|Checkpoint|Journal|Wal|WAL|Revive|Drain|DupState' ./internal/faults/ ./internal/fabric/ ./internal/predata/ ./internal/trace/ ./internal/dataspaces/
 	$(GO) run ./cmd/predata-bench -experiment restart -json BENCH_restart.json
+
+# serve-soak runs the multi-tenant streaming-service suite: the serve
+# daemon units plus the query/tenant conformance scenarios (steady
+# two-tenant, bursty xray, join/leave mid-stream, query storm under
+# overload) and the cache key/staleness property tests — raced,
+# shuffled, repeated — then the serve experiment (DESIGN.md §15). CI
+# repeats it across fault seeds 1/7/42.
+serve-soak:
+	$(GO) test -race -shuffle=on -count=2 ./internal/serve/
+	$(GO) test -race -shuffle=on -count=1 -run 'FairShare|Starv|Subscribe|VerifyServe|Tenant' ./internal/flowctl/ ./internal/dataspaces/ ./internal/trace/ ./internal/queryapp/ ./cmd/predata-serve/
+	$(GO) run ./cmd/predata-bench -experiment serve -json BENCH_serve.json
 
 evaluation:
 	$(GO) run ./cmd/predata-bench -experiment all

@@ -11,6 +11,7 @@
 //	predata-bench -experiment elastic [-json BENCH_elastic.json]
 //	predata-bench -experiment adversary [-json BENCH_adversary.json]
 //	predata-bench -experiment restart [-json BENCH_restart.json]
+//	predata-bench -experiment serve [-json BENCH_serve.json]
 //	predata-bench -experiment ablations
 //	predata-bench -experiment all
 //
@@ -29,10 +30,10 @@ import (
 
 func main() {
 	experiment := flag.String("experiment", "all",
-		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|chaos|overload|trace|elastic|adversary|restart|ablations|all")
+		"which experiment to regenerate: fig7|fig8|fig9|fig10|fig11|offline|des|chaos|overload|trace|elastic|adversary|restart|serve|ablations|all")
 	op := flag.String("op", "all", "fig7 operator: sort|hist|hist2d|all")
 	jsonPath := flag.String("json", "BENCH_overload.json",
-		"overload/trace/elastic/adversary/restart experiments: write the summary as JSON to this path (empty disables; trace, elastic, adversary and restart default to BENCH_trace.json / BENCH_elastic.json / BENCH_adversary.json / BENCH_restart.json)")
+		"overload/trace/elastic/adversary/restart/serve experiments: write the summary as JSON to this path (empty disables; trace, elastic, adversary, restart and serve default to BENCH_trace.json / BENCH_elastic.json / BENCH_adversary.json / BENCH_restart.json / BENCH_serve.json)")
 	flag.Parse()
 
 	// The flag default carries the overload experiment's filename; the
@@ -54,6 +55,9 @@ func main() {
 	}
 	if *experiment == "restart" && !jsonSet {
 		*jsonPath = "BENCH_restart.json"
+	}
+	if *experiment == "serve" && !jsonSet {
+		*jsonPath = "BENCH_serve.json"
 	}
 
 	if err := run(os.Stdout, *experiment, *op, *jsonPath); err != nil {
@@ -105,6 +109,8 @@ func run(w io.Writer, experiment, op, jsonPath string) error {
 		return bench.Adversary(w, jsonPath)
 	case "restart":
 		return bench.Restart(w, jsonPath)
+	case "serve":
+		return bench.Serve(w, jsonPath)
 	case "ablations":
 		return ablations()
 	case "all":
@@ -120,6 +126,7 @@ func run(w io.Writer, experiment, op, jsonPath string) error {
 			func(w io.Writer) error { return bench.Elastic(w, "") },
 			func(w io.Writer) error { return bench.Adversary(w, "") },
 			func(w io.Writer) error { return bench.Restart(w, "") },
+			func(w io.Writer) error { return bench.Serve(w, "") },
 		} {
 			if err := f(w); err != nil {
 				return err

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestServeMultiTenant(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 4, 4, 32, 64, 2, 256, 2, 4, 2, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, marker := range []string{"4 tenants", "sim00", "sim03", "cache:", "zero cross-tenant reads"} {
+		if !strings.Contains(out, marker) {
+			t.Errorf("output missing %q:\n%s", marker, out)
+		}
+	}
+}
+
+func TestServeCacheOff(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, 3, 32, 64, 2, 0, 2, 4, 1, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "cache: 0 hits") {
+		t.Errorf("cache-off run reported hits:\n%s", buf.String())
+	}
+}
+
+func TestServeWithWAL(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 2, 3, 32, 64, 2, 64, 2, 4, 1, t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wal: ingest journal") {
+		t.Errorf("WAL run did not mention the journal:\n%s", buf.String())
+	}
+}
+
+func TestServeRejectsBadShapes(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 0, 4, 32, 64, 2, 0, 2, 4, 1, ""); err == nil {
+		t.Error("zero tenants accepted")
+	}
+	if err := run(&buf, 2, 4, 32, 64, 0, 0, 2, 4, 1, ""); err == nil {
+		t.Error("zero window accepted")
+	}
+	if err := run(&buf, 2, 4, 8, 64, 2, 0, 2, 4, 1, ""); err == nil {
+		t.Error("tiny domain accepted")
+	}
+	if err := run(&buf, 2, 4, 32, 64, 2, 0, 8, 8, 1, ""); err == nil {
+		t.Error("query shape exceeding rows accepted")
+	}
+}

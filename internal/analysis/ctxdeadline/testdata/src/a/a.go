@@ -120,3 +120,47 @@ func goodHedgeWait(ctx context.Context, pull func(context.Context) ([]byte, bool
 		time.Sleep(hedgeDelay)
 	}
 }
+
+// The serve daemon's accept loop parking until fair-share admission
+// credit frees: sleeping with no bound wedges the accept goroutine for
+// good when a tenant never releases its leases.
+func badServeAccept(admit func() bool) {
+	for { // want `retry loop sleeps between attempts but has no deadline, cancellation, or attempt bound`
+		if admit() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// A serve session's drain loop polling for in-flight queries to finish
+// before Leave: unbounded, a stuck querier pins the leave forever.
+func badServeDrain(pending func() int) {
+	for { // want `retry loop sleeps between attempts but has no deadline, cancellation, or attempt bound`
+		if pending() == 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The accept loop's required shape: cancellable through the session
+// context so a daemon Close unparks it.
+func goodServeAccept(ctx context.Context, admit func() bool) {
+	for {
+		if admit() || ctx.Err() != nil {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// The drain loop bounded by the leave deadline.
+func goodServeDrain(pending func() int, deadline time.Time) {
+	for {
+		if pending() == 0 || time.Now().After(deadline) {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -95,3 +95,53 @@ func goodDrainJoined(shards []shard, move func(shard)) {
 	}
 	wg.Wait()
 }
+
+type session struct{ id int }
+
+// The serve daemon's accept loop firing a handler per joining tenant
+// with no join: at Close the daemon cannot prove the handlers drained,
+// and a late handler races the shard-pool teardown.
+func badServeAccept(joins []session, handle func(session)) {
+	for _, s := range joins {
+		go func(sess session) { // want `goroutine has no join mechanism`
+			handle(sess)
+		}(s)
+	}
+}
+
+// A leave path firing the session's eviction flush and returning: the
+// flush can outlive the membership epoch it belongs to.
+func badServeLeaveFlush(flush func()) {
+	go func() { // want `goroutine has no join mechanism`
+		flush()
+	}()
+}
+
+// The accept loop's required shape: every handler joined through a
+// WaitGroup the daemon waits on at Close.
+func goodServeAccept(joins []session, handle func(session)) {
+	var wg sync.WaitGroup
+	for _, s := range joins {
+		wg.Add(1)
+		go func(sess session) {
+			defer wg.Done()
+			handle(sess)
+		}(s)
+	}
+	wg.Wait()
+}
+
+// A serve query-drain worker bounded by the session context: Close
+// cancels, the worker exits.
+func goodServeDrainWorker(ctx context.Context, queries chan int, serveOne func(int)) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case q := <-queries:
+				serveOne(q)
+			}
+		}
+	}()
+}

@@ -240,6 +240,45 @@ func TestAdversaryExperiment(t *testing.T) {
 	}
 }
 
+func TestServeExperiment(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "BENCH_serve.json")
+	runFig(t, "serve", func() (string, error) {
+		var buf bytes.Buffer
+		err := Serve(&buf, jsonPath)
+		return buf.String(), err
+	}, "single-tenant", "fair-share-4", "query-storm-16", "cache on repeated regions", "verified isolation")
+	doc, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatalf("serve json not written: %v", err)
+	}
+	var sum ServeSummary
+	if err := json.Unmarshal(doc, &sum); err != nil {
+		t.Fatalf("serve json unparsable: %v", err)
+	}
+	if len(sum.Runs) != 3 {
+		t.Fatalf("serve json has %d runs, want 3", len(sum.Runs))
+	}
+	// The acceptance criteria Serve itself enforces, re-checked from the
+	// emitted document.
+	if sum.Cache.Speedup < 2 {
+		t.Errorf("cache speedup %.2fx below 2x", sum.Cache.Speedup)
+	}
+	for _, r := range sum.Runs {
+		if r.TenantChecks < r.Tenants {
+			t.Errorf("%s: %d isolation checks for %d tenants", r.Name, r.TenantChecks, r.Tenants)
+		}
+		if r.CacheChecks == 0 || r.CacheHits == 0 {
+			t.Errorf("%s: cache never exercised (%d checks, %d hits)", r.Name, r.CacheChecks, r.CacheHits)
+		}
+		if r.Queries == 0 || r.QueryP99US < r.QueryP50US {
+			t.Errorf("%s: implausible query figures %+v", r.Name, r)
+		}
+	}
+	if sum.Runs[2].Tenants != 16 {
+		t.Errorf("storm leg has %d tenants, want 16", sum.Runs[2].Tenants)
+	}
+}
+
 func TestAblationScheduling(t *testing.T) {
 	runFig(t, "scheduling", func() (string, error) {
 		var buf bytes.Buffer

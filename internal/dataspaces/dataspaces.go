@@ -532,8 +532,9 @@ func (s *Space) Versions(name string) []int {
 
 // Subscribe registers a continuous query: the returned channel receives a
 // Notification whenever a Put intersects [lb, ub). The channel has a small
-// buffer; notifications to a full channel are dropped (the subscriber can
-// always Get the latest version). Call Unsubscribe to release it.
+// buffer; when it overflows the oldest pending notification is dropped in
+// favor of the newest, so a slow subscriber always finds the latest
+// version waiting when it drains. Call the cancel func to release it.
 func (s *Space) Subscribe(name string, lb, ub []uint64) (<-chan Notification, func(), error) {
 	if err := s.checkRegion(lb, ub); err != nil {
 		return nil, nil, err
@@ -591,7 +592,22 @@ func (s *Space) notify(name string, version int, lb, ub []uint64) {
 		}
 		select {
 		case sub.ch <- n:
-		default: // drop on full buffer
+		default:
+			// Full buffer: drop the OLDEST pending notification and
+			// retry, so a subscriber that falls behind still sees the
+			// latest version when it drains — a continuous query that
+			// parks during a shard-handoff burst must not permanently
+			// miss the newest data. Popping races only other receivers
+			// (close is serialized behind s.mu with this send), and if a
+			// receiver wins the race the retry slot is free anyway.
+			select {
+			case <-sub.ch:
+			default:
+			}
+			select {
+			case sub.ch <- n:
+			default:
+			}
 		}
 	}
 }

@@ -1,0 +1,137 @@
+package dataspaces
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestSubscribeDuringResize hammers the continuous-query surface while
+// the shard layout is being handed off underneath it: subscribers come
+// and go, producers put and evict versions, a reader drains queries,
+// and a resizer cycles the server count through repeated handoffs. The
+// serve daemon runs exactly this mix — tenant sessions subscribe to
+// regions of interest while joins and leaves rescale the shard pool —
+// so subscription registration, notification delivery, and cancel must
+// all be linearizable against Resize. Run with -race.
+// TestSubscribeBurstKeepsNewest: a subscriber that parks while a burst
+// of Puts overflows its buffer must still find the NEWEST version
+// waiting when it drains — the serve daemon's continuous queries fall
+// behind during shard-handoff bursts, and losing the latest version
+// permanently would strand them on stale data. The old drop-newest
+// behavior failed exactly this.
+func TestSubscribeBurstKeepsNewest(t *testing.T) {
+	sp, err := New(Config{
+		Servers: 2,
+		Domain:  Domain{Dims: []uint64{64, 64}, BlockSize: []uint64{8, 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, cancel, err := sp.Subscribe("obj", []uint64{0, 0}, []uint64{64, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cancel()
+	data := make([]float64, 64)
+	const burst = 100 // far past the 16-slot buffer
+	for v := 0; v < burst; v++ {
+		if err := sp.Put("obj", v, []uint64{0, 0}, []uint64{1, 64}, data); err != nil {
+			t.Fatal(err)
+		}
+	}
+	newest := -1
+	for {
+		select {
+		case n := <-ch:
+			if n.Version > newest {
+				newest = n.Version
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if newest != burst-1 {
+		t.Fatalf("newest notified version %d, want %d — latest version lost on overflow", newest, burst-1)
+	}
+}
+
+func TestSubscribeDuringResize(t *testing.T) {
+	sp, err := New(Config{
+		Servers: 2,
+		Domain:  Domain{Dims: []uint64{64, 64}, BlockSize: []uint64{8, 8}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Resizer: continuous shard handoff until the workers finish.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := sp.Resize(1 + i%4); err != nil {
+				panic(err)
+			}
+		}
+	}()
+
+	const workers = 4
+	const rounds = 200
+	var workerWG sync.WaitGroup
+	errc := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		workerWG.Add(1)
+		go func(g int) {
+			defer workerWG.Done()
+			row := uint64(g * 8)
+			data := make([]float64, 64)
+			for i := 0; i < rounds; i++ {
+				ch, cancel, err := sp.Subscribe("obj", []uint64{row, 0}, []uint64{row + 8, 64})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if err := sp.Put("obj", i, []uint64{row, 0}, []uint64{row + 1, 64}, data); err != nil {
+					errc <- err
+					return
+				}
+				// The put intersects this worker's own region and the
+				// subscription was registered before the put, so the
+				// notification must be deliverable (nothing else fills
+				// this subscriber's buffer).
+				select {
+				case n, ok := <-ch:
+					if ok && n.Version != i {
+						errc <- fmt.Errorf("worker %d round %d: notified version %d", g, i, n.Version)
+						return
+					}
+				default:
+					errc <- fmt.Errorf("worker %d round %d: notification lost during handoff", g, i)
+					return
+				}
+				if _, err := sp.Get("obj", i, []uint64{row, 0}, []uint64{row + 1, 64}); err != nil {
+					errc <- err
+					return
+				}
+				cancel()
+				cancel() // idempotent under concurrency
+			}
+		}(g)
+	}
+	workerWG.Wait()
+	close(stop)
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"predata/internal/flowctl"
+)
+
+// Tenant namespaces are carried in the object name itself: every space
+// operation a session performs goes through qualify, so the shared
+// DataSpaces never sees an unqualified name and two tenants' objects
+// cannot collide. The separator is forbidden in tenant names, which
+// makes the mapping unambiguous in both directions.
+const tenantSep = "/"
+
+// validTenant rejects names that would break the namespace encoding or
+// read back ambiguously.
+func validTenant(name string) error {
+	if name == "" {
+		return fmt.Errorf("serve: empty tenant name")
+	}
+	if strings.Contains(name, tenantSep) {
+		return fmt.Errorf("serve: tenant name %q contains %q", name, tenantSep)
+	}
+	return nil
+}
+
+// qualify prefixes an object name with its tenant namespace.
+func qualify(tenant, name string) string {
+	return tenant + tenantSep + name
+}
+
+// objHash maps a tenant-qualified object name to the stable 63-bit
+// identifier recorded in trace events (Seq field). The hash covers the
+// qualified name, so the same object name under two tenants hashes
+// differently — the tenant-isolation Verify rule keys on exactly this.
+func objHash(qualified string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(qualified))
+	return int64(h.Sum64() &^ (1 << 63))
+}
+
+// TenantStats aggregates one tenant's serve-side accounting.
+type TenantStats struct {
+	// Ingests counts Put operations; IngestedCells their total cells.
+	Ingests       int64
+	IngestedCells int64
+	// Queries counts range Gets, Reduces reduction queries.
+	Queries int64
+	Reduces int64
+	// Evictions counts versions retired from the space.
+	Evictions int64
+	// ResidentBytes is the admission-accounted footprint currently held.
+	ResidentBytes int64
+	// Admission is the fair-share arbiter's view (share, waits, peaks).
+	Admission flowctl.FairStats
+}

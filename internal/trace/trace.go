@@ -90,6 +90,14 @@ const (
 	PhaseWalTruncate   // wal: journal truncated behind a checkpoint (Seq = first dump kept, Arg = records kept)
 	PhaseWalReplay     // predata: journaled chunk re-entered the pipeline after a restart (Seq = writer, Arg = payload crc32)
 	PhaseRestart       // pipeline: rank rejoined after a restart or crashall recovery (Seq = epoch installed, Arg = records replayed)
+
+	PhaseServeIngest     // serve: dump version ingested for a tenant (Rank = tenant, Endpoint = tenant, Seq = object hash, Arg = version)
+	PhaseServeQuery      // serve: query answered from the space (Rank = tenant, Endpoint = tenant, Seq = object hash, Arg = version)
+	PhaseCacheHit        // serve: query answered from the result cache (Endpoint = tenant, Seq = object hash, Arg = fill epoch of the entry)
+	PhaseCacheFill       // serve: result cached after a space read (Endpoint = tenant, Seq = object hash, Arg = epoch at fill)
+	PhaseCacheInvalidate // serve: epoch bumped, cached results stale (Endpoint = tenant, Seq = object hash, Arg = new epoch)
+	PhaseTenantJoin      // serve: tenant session admitted (Endpoint = tenant, Seq = membership epoch, Arg = weight)
+	PhaseTenantLeave     // serve: tenant session drained and departed (Endpoint = tenant, Seq = membership epoch)
 )
 
 // phaseNames maps phases to stable lowercase names used by the Chrome
@@ -145,6 +153,14 @@ var phaseNames = [...]string{
 	PhaseWalTruncate:   "wal-truncate",
 	PhaseWalReplay:     "wal-replay",
 	PhaseRestart:       "restart",
+
+	PhaseServeIngest:     "serve-ingest",
+	PhaseServeQuery:      "serve-query",
+	PhaseCacheHit:        "cache-hit",
+	PhaseCacheFill:       "cache-fill",
+	PhaseCacheInvalidate: "cache-invalidate",
+	PhaseTenantJoin:      "tenant-join",
+	PhaseTenantLeave:     "tenant-leave",
 }
 
 // String returns the stable lowercase name of the phase.

@@ -25,6 +25,8 @@ type VerifyReport struct {
 	WALChecks        int      // (dump, writer) wal-replay events matched against journal appends
 	RestartChecks    int      // (dump, writer) pairs checked for double-processing across restarts
 	CheckpointChecks int      // journal truncations checked for a covering checkpoint
+	TenantChecks     int      // serve objects checked for single-tenant access
+	CacheChecks      int      // serve cache hits checked against invalidation epochs
 	Violations       []string // human-readable invariant failures
 }
 
@@ -80,6 +82,17 @@ type VerifyReport struct {
 //     (PhaseWalTruncate) is preceded by a checkpoint (PhaseCheckpoint)
 //     covering at least the dumps the truncation discarded: journal
 //     bytes only disappear behind a durable checkpoint.
+//  13. Tenant isolation — on serve recordings, every object (identified
+//     by the hash of its tenant-qualified name, recorded in Seq at the
+//     space boundary) is touched by exactly one tenant across ingest,
+//     query, and cache events: a second tenant ID on the same object
+//     means a query result crossed a namespace.
+//  14. Cache coherence — per object, in time order, every cache hit's
+//     entry epoch (Arg = the epoch the entry was filled under) is at
+//     least the epoch installed by the latest invalidation that
+//     strictly precedes the hit: no cached result is served for an
+//     invalidated epoch. Cache events are recorded inside the cache's
+//     critical section, so their timestamps are linearized.
 //
 // It returns an error when the recording is unusable (nil, empty, or
 // lossy — dropped events could hide a violation) or when any
@@ -114,6 +127,8 @@ func Verify(rec *Recording) (*VerifyReport, error) {
 	verifyWalReplayFidelity(rec, rep)
 	verifyRestartExclusivity(rec, rep)
 	verifyCheckpointOrder(rec, rep)
+	verifyTenantIsolation(rec, rep)
+	verifyCacheCoherence(rec, rep)
 	if len(rep.Violations) > 0 {
 		return rep, fmt.Errorf("trace: %d invariant violation(s):\n  %s",
 			len(rep.Violations), strings.Join(rep.Violations, "\n  "))
@@ -823,6 +838,115 @@ func verifyCheckpointOrder(rec *Recording, rep *VerifyReport) {
 			if m.seq > covered {
 				rep.fail("rank %d: journal truncated keeping dumps >= %d but the latest checkpoint covers only dumps < %d",
 					r, m.seq, covered)
+			}
+		}
+	}
+}
+
+// serveTenantPhase reports whether a phase carries a (tenant, object)
+// pair from the serve daemon: Endpoint is the tenant ID and Seq the
+// hash of the tenant-qualified object name, both recorded at the
+// DataSpaces boundary.
+func serveTenantPhase(p Phase) bool {
+	switch p {
+	case PhaseServeIngest, PhaseServeQuery, PhaseCacheHit, PhaseCacheFill, PhaseCacheInvalidate:
+		return true
+	}
+	return false
+}
+
+// verifyTenantIsolation checks the serve daemon's namespace contract:
+// an object hash that appears with two different tenant IDs was read or
+// written across a namespace boundary. The hash is computed from the
+// tenant-qualified name at the space boundary, so a namespace-crossing
+// bug necessarily shows a second tenant on one object.
+func verifyTenantIsolation(rec *Recording, rep *VerifyReport) {
+	owners := map[int64]int32{}
+	flagged := map[int64]bool{}
+	objs := []int64{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		if !serveTenantPhase(e.Phase) {
+			continue
+		}
+		owner, seen := owners[e.Seq]
+		if !seen {
+			owners[e.Seq] = e.Endpoint
+			objs = append(objs, e.Seq)
+			continue
+		}
+		if e.Endpoint != owner && !flagged[e.Seq] {
+			flagged[e.Seq] = true
+			rep.fail("object %#x: touched by tenant %d and tenant %d — query result crossed a namespace (%s at %dns)",
+				uint64(e.Seq), owner, e.Endpoint, e.Phase, e.Start)
+		}
+	}
+	rep.TenantChecks += len(objs)
+}
+
+// verifyCacheCoherence checks the serve result cache's epoch protocol:
+// per object, every cache hit must carry a fill epoch at least as new
+// as the epoch installed by the latest invalidation strictly before the
+// hit. A smaller epoch means the cache served bytes that a Put or an
+// eviction had already superseded. Only invalidations strictly before
+// the hit count: the cache records both inside its critical section, so
+// equal timestamps cannot order an invalidation ahead of a hit.
+func verifyCacheCoherence(rec *Recording, rep *VerifyReport) {
+	type mark struct {
+		start int64
+		epoch int64
+	}
+	// Epoch counters live per (object, version) — the Dump field of
+	// cache events carries the version — so hits and invalidations are
+	// only comparable within that pair. Keying on the object alone would
+	// flag a fresh version's epoch-1 hits against a sibling version's
+	// eviction epoch.
+	type objVerKey struct {
+		obj     int64
+		version int64
+	}
+	invals := map[objVerKey][]mark{}
+	hits := map[objVerKey][]mark{}
+	keys := []objVerKey{}
+	for i := range rec.Events {
+		e := &rec.Events[i]
+		switch e.Phase {
+		case PhaseCacheInvalidate:
+			k := objVerKey{obj: e.Seq, version: e.Dump}
+			if invals[k] == nil && hits[k] == nil {
+				keys = append(keys, k)
+			}
+			invals[k] = append(invals[k], mark{start: e.Start, epoch: e.Arg})
+		case PhaseCacheHit:
+			k := objVerKey{obj: e.Seq, version: e.Dump}
+			if invals[k] == nil && hits[k] == nil {
+				keys = append(keys, k)
+			}
+			hits[k] = append(hits[k], mark{start: e.Start, epoch: e.Arg})
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].obj != keys[j].obj {
+			return keys[i].obj < keys[j].obj
+		}
+		return keys[i].version < keys[j].version
+	})
+	for _, k := range keys {
+		inv := invals[k]
+		sort.Slice(inv, func(i, j int) bool { return inv[i].start < inv[j].start })
+		for _, h := range hits[k] {
+			rep.CacheChecks++
+			// Latest invalidation strictly before the hit.
+			var floor int64 = -1
+			var floorAt int64
+			for _, m := range inv {
+				if m.start < h.start && m.epoch > floor {
+					floor, floorAt = m.epoch, m.start
+				}
+			}
+			if floor >= 0 && h.epoch < floor {
+				rep.fail("object %#x version %d: cache hit at %dns served epoch %d after invalidation at %dns installed epoch %d — stale result",
+					uint64(k.obj), k.version, h.start, h.epoch, floorAt, floor)
 			}
 		}
 	}
